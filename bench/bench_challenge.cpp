@@ -1,0 +1,84 @@
+// Experiment CHG: "The Challenge" (Section 1) — why the reduction targets
+// *promise pairwise* disjointness instead of plain multi-party
+// set-disjointness.
+//
+// For plain t-party set-disjointness the NO case ("no index where all
+// strings are 1") contains many sub-cases of pairwise intersections, and
+// the paper observes that the gadget's MaxIS value depends on those
+// sub-cases. We demonstrate it mechanically for t = 3: all inputs below
+// are NO instances of plain 3-party disjointness, yet their exact MaxIS
+// values differ according to which pairs intersect — so no single gap
+// threshold can decide plain disjointness, while the promise (pairwise
+// disjoint vs uniquely intersecting) removes every problematic sub-case.
+
+#include <iostream>
+
+#include "lowerbound/linear_family.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "support/table.hpp"
+
+namespace clb = congestlb;
+using clb::Table;
+
+namespace {
+
+/// 3 strings of length k with a prescribed pairwise-intersection pattern
+/// and NO common index.
+std::vector<std::vector<std::uint8_t>> pattern_strings(std::size_t k,
+                                                       bool i12, bool i13,
+                                                       bool i23) {
+  // Reserve distinct indices for each requested pairwise intersection.
+  std::vector<std::vector<std::uint8_t>> s(3, std::vector<std::uint8_t>(k, 0));
+  std::size_t next = 0;
+  auto add_pair = [&](std::size_t a, std::size_t b) {
+    s[a][next] = 1;
+    s[b][next] = 1;
+    ++next;
+  };
+  if (i12) add_pair(0, 1);
+  if (i13) add_pair(0, 2);
+  if (i23) add_pair(1, 2);
+  // One private index per player, so every string is nonempty.
+  for (std::size_t i = 0; i < 3; ++i) {
+    s[i][next++] = 1;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_challenge: why promise pairwise disjointness ===\n";
+  const std::size_t t = 3;
+  const auto p = clb::lb::GadgetParams::from_l_alpha(5, 1, 6);
+  const clb::lb::LinearConstruction c(p, t);
+
+  clb::print_heading(
+      std::cout,
+      "t = 3, all inputs are NO instances of PLAIN set-disjointness "
+      "(no triple intersection)");
+  Table tbl({"x1&x2", "x1&x3", "x2&x3", "exact MaxIS", "promise-legal",
+             "NO bound (t+1)l+at^2"});
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool i12 = mask & 1, i13 = mask & 2, i23 = mask & 4;
+    const auto strings = pattern_strings(p.k, i12, i13, i23);
+    const auto g = c.instantiate_raw(strings);
+    const auto opt = clb::maxis::solve_exact(g).weight;
+    const bool promise_legal =
+        clb::comm::classify(strings) != clb::comm::InstanceClass::kPromiseViolation;
+    tbl.row(i12, i13, i23, opt, promise_legal, c.no_bound());
+  }
+  tbl.print(std::cout);
+
+  std::cout
+      << "\nReading the table: the exact MaxIS of the NO-side gadget varies "
+         "with the pairwise-intersection\npattern (every extra intersecting "
+         "pair adds weight), so a reduction to plain multi-party\n"
+         "set-disjointness would need one threshold separating ALL these "
+         "sub-cases from the YES case —\nimpossible once some NO sub-case "
+         "weight reaches the YES weight ("
+      << c.yes_weight()
+      << " here). The promise keeps only the all-pairwise-disjoint row "
+         "(no,no,no), restoring the gap.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Experiments C12, C35, L2: the linear family's YES/NO gap (Section 4).
+//
+// Table 1: Claims 1-2 (t = 2) — exact OPT on uniquely-intersecting vs
+//          pairwise-disjoint instances against the claimed bounds
+//          4l+2a and 3l+2a+1.
+// Table 2: Claims 3+5 (general t) — t(2l+a) vs (t+1)l+at^2.
+// Table 3: Lemma 2 — hardness ratio vs t: measured at buildable sizes,
+//          formula at asymptotic ell, plus the eps -> t mapping.
+//
+// Expected shape (matches the paper): YES OPT == t(2l+a) exactly; NO OPT
+// <= the claim bound; ratio -> 1/2 as t grows with ell >> alpha*t.
+
+#include <iostream>
+
+#include "comm/instances.hpp"
+#include "lowerbound/linear_family.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace clb = congestlb;
+using clb::Table;
+
+namespace {
+
+struct GapRow {
+  clb::graph::Weight yes_opt = 0;
+  clb::graph::Weight no_opt = 0;
+};
+
+GapRow measure(const clb::lb::LinearConstruction& c, clb::Rng& rng,
+               int trials) {
+  GapRow row;
+  const auto& p = c.params();
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto yes =
+        clb::comm::make_uniquely_intersecting(p.k, c.num_players(), rng, 0.3);
+    row.yes_opt = std::max(
+        row.yes_opt, clb::maxis::solve_exact(c.instantiate(yes)).weight);
+    const auto no =
+        clb::comm::make_pairwise_disjoint(p.k, c.num_players(), rng, 0.4);
+    row.no_opt = std::max(
+        row.no_opt, clb::maxis::solve_exact(c.instantiate(no)).weight);
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== bench_gap_linear: Claims 1-3, 5 and Lemma 2 ===\n";
+  clb::Rng rng(2020);
+
+  clb::print_heading(std::cout,
+                     "C12 — two players (Claims 1-2): YES >= 4l+2a, NO <= 3l+2a+1");
+  {
+    Table t({"ell", "alpha", "k", "n", "YES OPT", "claim YES>=", "NO OPT",
+             "claim NO<=", "holds"});
+    for (auto [ell, alpha, k] :
+         {std::tuple<std::size_t, std::size_t, std::size_t>{2, 1, 3},
+          {3, 1, 4},
+          {4, 1, 5},
+          {6, 1, 7},
+          {4, 2, 16},
+          {8, 1, 9}}) {
+      const auto p = clb::lb::GadgetParams::from_l_alpha(ell, alpha, k);
+      const clb::lb::LinearConstruction c(p, 2);
+      const auto row = measure(c, rng, 3);
+      const bool holds =
+          row.yes_opt >= c.yes_weight() && row.no_opt <= c.no_bound();
+      t.row(ell, alpha, k, c.num_nodes(), row.yes_opt, c.yes_weight(),
+            row.no_opt, c.no_bound(), holds);
+    }
+    t.print(std::cout);
+  }
+
+  clb::print_heading(
+      std::cout,
+      "C35 — t players (Claims 3+5): YES >= t(2l+a), NO <= (t+1)l+at^2");
+  {
+    Table t({"t", "ell", "alpha", "k", "n", "YES OPT", "claim YES>=", "NO OPT",
+             "claim NO<=", "separated", "holds"});
+    for (auto [t_players, ell, alpha, k] :
+         {std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>{
+              3, 5, 1, 6},
+          {3, 4, 1, 5},
+          {4, 6, 1, 7},
+          {4, 8, 1, 9},
+          {5, 8, 1, 9},
+          {3, 5, 2, 20},
+          {6, 10, 1, 11}}) {
+      const auto p = clb::lb::GadgetParams::from_l_alpha(ell, alpha, k);
+      const clb::lb::LinearConstruction c(p, t_players);
+      const auto row = measure(c, rng, 2);
+      const bool holds =
+          row.yes_opt >= c.yes_weight() && row.no_opt <= c.no_bound();
+      t.row(t_players, ell, alpha, k, c.num_nodes(), row.yes_opt,
+            c.yes_weight(), row.no_opt, c.no_bound(), c.separated(), holds);
+    }
+    t.print(std::cout);
+  }
+
+  clb::print_heading(std::cout,
+                     "L2 — hardness ratio vs t (paper: -> 1/2 + eps)");
+  {
+    Table t({"t", "measured NO/YES (l=t+2,a=1)", "formula (l=2^20)",
+             "limit (t+1)/2t"});
+    for (std::size_t tp : {2, 3, 4, 5, 6, 8, 12, 16}) {
+      std::string measured = "-";
+      if (tp <= 5) {
+        const auto p = clb::lb::GadgetParams::for_linear_separation(tp, 2);
+        const clb::lb::LinearConstruction c(p, tp);
+        const auto row = measure(c, rng, 2);
+        measured = clb::fmt_double(static_cast<double>(row.no_opt) /
+                                   static_cast<double>(row.yes_opt));
+      }
+      t.row(tp, measured,
+            clb::lb::linear_hardness_ratio_formula(1 << 20, 1, tp),
+            (tp + 1.0) / (2.0 * tp));
+    }
+    t.print(std::cout);
+  }
+
+  clb::print_heading(std::cout, "L2 — epsilon to player-count mapping");
+  {
+    Table t({"eps", "t = ceil(2/eps)", "ruled-out approximation"});
+    for (double eps : {0.4, 0.25, 0.125, 0.0625, 0.03125}) {
+      const auto tp = clb::lb::linear_players_for_epsilon(eps);
+      t.row(clb::fmt_double(eps, 5), tp,
+            "(1/2 + " + clb::fmt_double(eps, 5) + ")");
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nLinear gap experiments completed.\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks for the hot substrates: Reed-Solomon
+// encoding, Hopcroft-Karp on the Figure-2 anti-matchings, branch-and-bound
+// on gadget instances, gadget construction itself, blackboard posting, and
+// raw CONGEST round throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "codes/params.hpp"
+#include "comm/blackboard.hpp"
+#include "comm/exact_cc.hpp"
+#include "comm/instances.hpp"
+#include "congest/algorithms/greedy_mis.hpp"
+#include "congest/network.hpp"
+#include "graph/matching.hpp"
+#include "lowerbound/linear_family.hpp"
+#include "lowerbound/structured_solver.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "support/rng.hpp"
+
+namespace clb = congestlb;
+
+namespace {
+
+void BM_ReedSolomonEncode(benchmark::State& state) {
+  const auto gc = clb::codes::make_gadget_code(
+      static_cast<std::size_t>(state.range(0)), 2);
+  std::uint64_t m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gc.code->encode_index(m));
+    m = (m + 1) % gc.max_messages;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReedSolomonEncode)->Arg(6)->Arg(12)->Arg(24);
+
+void BM_AntiMatchingHopcroftKarp(benchmark::State& state) {
+  const std::size_t p = static_cast<std::size_t>(state.range(0));
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = 0; b < p; ++b) {
+      if (a != b) edges.emplace_back(a, b);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clb::graph::max_bipartite_matching(p, p, edges));
+  }
+}
+BENCHMARK(BM_AntiMatchingHopcroftKarp)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LinearConstructionBuild(benchmark::State& state) {
+  const auto p = clb::lb::GadgetParams::from_l_alpha(
+      static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    clb::lb::LinearConstruction c(p, 3);
+    benchmark::DoNotOptimize(c.fixed_graph().num_edges());
+  }
+}
+BENCHMARK(BM_LinearConstructionBuild)->Arg(3)->Arg(6)->Arg(10);
+
+void BM_ExactMaxIsOnGadget(benchmark::State& state) {
+  const std::size_t t = static_cast<std::size_t>(state.range(0));
+  const auto p = clb::lb::GadgetParams::for_linear_separation(t, 1);
+  const clb::lb::LinearConstruction c(p, t);
+  clb::Rng rng(5);
+  const auto inst = clb::comm::make_pairwise_disjoint(p.k, t, rng, 0.4);
+  const auto g = c.instantiate(inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clb::maxis::solve_exact(g).weight);
+  }
+}
+BENCHMARK(BM_ExactMaxIsOnGadget)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_BlackboardPost(benchmark::State& state) {
+  for (auto _ : state) {
+    clb::comm::Blackboard board(4);
+    for (int i = 0; i < 64; ++i) {
+      board.post_uint(static_cast<std::size_t>(i % 4),
+                      static_cast<std::uint64_t>(i), 16);
+    }
+    benchmark::DoNotOptimize(board.total_bits());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_BlackboardPost);
+
+void BM_CongestRoundThroughput(benchmark::State& state) {
+  // Greedy MIS on a cycle: measures simulator round overhead.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  clb::graph::Graph g(n);
+  for (clb::graph::NodeId v = 0; v < n; ++v) g.add_edge(v, (v + 1) % n);
+  for (auto _ : state) {
+    clb::congest::Network net(g, clb::congest::greedy_mis_factory());
+    const auto stats = net.run();
+    benchmark::DoNotOptimize(stats.rounds);
+  }
+}
+BENCHMARK(BM_CongestRoundThroughput)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_StructuredSolver(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  const auto p = clb::lb::GadgetParams::from_l_alpha(8, 2, k);
+  const clb::lb::LinearConstruction c(p, 2);
+  clb::Rng rng(9);
+  const auto inst = clb::comm::make_pairwise_disjoint(k, 2, rng, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clb::lb::solve_linear_structured(c, inst).weight);
+  }
+}
+BENCHMARK(BM_StructuredSolver)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_ExactCcDisjointness(benchmark::State& state) {
+  const auto f = clb::comm::disjointness_matrix(
+      static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clb::comm::exact_deterministic_cc(f));
+  }
+}
+BENCHMARK(BM_ExactCcDisjointness)->Arg(2)->Arg(3);
+
+void BM_PromiseInstanceGeneration(benchmark::State& state) {
+  clb::Rng rng(1);
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clb::comm::make_uniquely_intersecting(k, 4, rng, 0.3));
+  }
+}
+BENCHMARK(BM_PromiseInstanceGeneration)->Arg(1024)->Arg(16384);
+
+}  // namespace

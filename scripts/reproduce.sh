@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full reproduction: configure, build, run the test suite and every
+# experiment bench, capturing outputs at the repository root
+# (test_output.txt, bench_output.txt) — the artifacts EXPERIMENTS.md is
+# written from.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+
+echo "done: test_output.txt, bench_output.txt"

@@ -1,0 +1,64 @@
+// Code-mappings (paper Definition 3).
+//
+// A code-mapping with parameters (L, M, d, Sigma) is a function
+// C : Sigma^L -> Sigma^M such that distinct messages map to codewords at
+// Hamming distance >= d. The paper (Theorem 4, via Arora-Barak Lemma 19.11 /
+// Reed-Solomon) uses parameters (alpha, ell+alpha, ell, Sigma) with
+// |Sigma| = ell+alpha, and identifies the k = |Sigma|^alpha messages with the
+// indices m in [k] of the disjointness universe.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace congestlb::codes {
+
+using Symbol = std::uint64_t;
+using Word = std::vector<Symbol>;
+
+/// Abstract code-mapping C : Sigma^L -> Sigma^M with minimum distance d.
+class CodeMapping {
+ public:
+  virtual ~CodeMapping() = default;
+
+  /// |Sigma|. Symbols are integers in [0, alphabet_size()).
+  virtual std::uint64_t alphabet_size() const = 0;
+  /// L — message length in symbols.
+  virtual std::size_t message_length() const = 0;
+  /// M — codeword length in symbols.
+  virtual std::size_t codeword_length() const = 0;
+  /// d — guaranteed minimum distance between distinct codewords.
+  virtual std::size_t min_distance() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Encode a message of exactly message_length() symbols, each < q.
+  virtual Word encode(std::span<const Symbol> message) const = 0;
+
+  /// Number of messages q^L (throws if it would overflow uint64).
+  std::uint64_t num_messages() const;
+
+  /// The m-th message under the base-q unranking order, m in
+  /// [0, num_messages()). This is the paper's "arbitrary ordering of
+  /// Sigma^alpha": index m maps to its base-q digit string.
+  Word message_of_index(std::uint64_t m) const;
+
+  /// encode(message_of_index(m)) — the paper's C(m).
+  Word encode_index(std::uint64_t m) const;
+};
+
+/// Hamming distance between equal-length words.
+std::size_t hamming_distance(std::span<const Symbol> a,
+                             std::span<const Symbol> b);
+
+/// Verify d(C(x), C(y)) >= min_distance() for all message pairs if
+/// num_messages() <= exhaustive_limit, otherwise for `samples` random pairs
+/// drawn with the given seed. Returns the smallest distance observed.
+std::size_t verify_min_distance(const CodeMapping& code,
+                                std::uint64_t exhaustive_limit = 4096,
+                                std::size_t samples = 20000,
+                                std::uint64_t seed = 1);
+
+}  // namespace congestlb::codes

@@ -1,0 +1,26 @@
+#include "codes/params.hpp"
+
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::codes {
+
+GadgetCode make_gadget_code(std::size_t ell, std::size_t alpha) {
+  CLB_EXPECT(ell >= 1, "gadget code requires ell >= 1");
+  CLB_EXPECT(alpha >= 1, "gadget code requires alpha >= 1");
+  GadgetCode gc;
+  gc.ell = ell;
+  gc.alpha = alpha;
+  gc.prime = next_prime(std::max<std::uint64_t>(2, ell + alpha));
+  const std::size_t m = ell + alpha;
+  gc.code = std::make_shared<ReedSolomonCode>(alpha, m, gc.prime);
+  auto pow = checked_pow(gc.prime, alpha);
+  gc.max_messages = pow.value_or(1ULL << 62);
+  if (gc.max_messages > (1ULL << 62)) gc.max_messages = 1ULL << 62;
+  // Distance sanity: RS gives M - L + 1 = ell + 1 >= ell, as Theorem 4 needs.
+  CLB_EXPECT(gc.code->min_distance() >= ell,
+             "gadget code distance below ell — construction bug");
+  return gc;
+}
+
+}  // namespace congestlb::codes

@@ -1,0 +1,39 @@
+// Code-parameter selection for the paper's gadgets.
+//
+// The constructions of Sections 4-5 need, for chosen (ell, alpha), a
+// code-mapping with parameters (alpha, ell+alpha, ell, Sigma) and
+// k = |Sigma|^alpha messages (Theorem 4 instantiated with L = alpha,
+// M = ell + alpha, d = ell). We realize it with Reed-Solomon over GF(p),
+// p = next_prime(ell + alpha). When ell+alpha is not prime this enlarges the
+// alphabet (and hence each code-gadget clique) from ell+alpha to p; the
+// claim arithmetic is unaffected because every claim counts *cliques*
+// (ell+alpha of them), never clique sizes — only the total node count n
+// grows, by a constant factor < 2 (Bertrand). DESIGN.md records this as a
+// documented substitution.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "codes/reed_solomon.hpp"
+
+namespace congestlb::codes {
+
+/// A Reed-Solomon code wired to gadget parameters (ell, alpha).
+struct GadgetCode {
+  std::size_t ell = 0;
+  std::size_t alpha = 0;
+  /// Field order / alphabet size: smallest prime >= ell + alpha.
+  std::uint64_t prime = 0;
+  /// Number of distinct messages available, min(p^alpha, 2^62) — the
+  /// disjointness universe size k must not exceed this.
+  std::uint64_t max_messages = 0;
+  std::shared_ptr<const ReedSolomonCode> code;
+};
+
+/// Build the (alpha, ell+alpha, >= ell, GF(p)) Reed-Solomon gadget code.
+/// Requires ell >= 1, alpha >= 1.
+GadgetCode make_gadget_code(std::size_t ell, std::size_t alpha);
+
+}  // namespace congestlb::codes

@@ -1,0 +1,64 @@
+#include "codes/prime_field.hpp"
+
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::codes {
+
+PrimeField::PrimeField(std::uint64_t p) : p_(p) {
+  CLB_EXPECT(is_prime(p), "PrimeField requires a prime order");
+  CLB_EXPECT(p < (1ULL << 32), "PrimeField requires p < 2^32");
+}
+
+std::uint64_t PrimeField::reduce_in(std::uint64_t a) const {
+  CLB_EXPECT(a < p_, "field element out of range");
+  return a;
+}
+
+std::uint64_t PrimeField::add(std::uint64_t a, std::uint64_t b) const {
+  std::uint64_t s = reduce_in(a) + reduce_in(b);
+  return s >= p_ ? s - p_ : s;
+}
+
+std::uint64_t PrimeField::sub(std::uint64_t a, std::uint64_t b) const {
+  reduce_in(a);
+  reduce_in(b);
+  return a >= b ? a - b : a + p_ - b;
+}
+
+std::uint64_t PrimeField::mul(std::uint64_t a, std::uint64_t b) const {
+  return (reduce_in(a) * reduce_in(b)) % p_;
+}
+
+std::uint64_t PrimeField::neg(std::uint64_t a) const {
+  reduce_in(a);
+  return a == 0 ? 0 : p_ - a;
+}
+
+std::uint64_t PrimeField::pow(std::uint64_t a, std::uint64_t e) const {
+  std::uint64_t base = reduce_in(a);
+  std::uint64_t result = 1 % p_;
+  while (e > 0) {
+    if (e & 1) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t PrimeField::inv(std::uint64_t a) const {
+  CLB_EXPECT(reduce_in(a) != 0, "zero has no multiplicative inverse");
+  return pow(a, p_ - 2);
+}
+
+std::uint64_t PrimeField::eval_poly(const std::vector<std::uint64_t>& coeffs,
+                                    std::uint64_t x) const {
+  reduce_in(x);
+  std::uint64_t acc = 0;
+  for (auto it = coeffs.rbegin(); it != coeffs.rend(); ++it) {
+    acc = add(mul(acc, x), reduce_in(*it));
+  }
+  return acc;
+}
+
+}  // namespace congestlb::codes

@@ -1,0 +1,44 @@
+// Arithmetic in the prime field GF(p).
+//
+// Reed-Solomon codewords are polynomial evaluations over a finite field; for
+// gadget-sized parameters a prime field found by trial division suffices
+// (no need for extension fields: we simply round the alphabet up to the next
+// prime, which only enlarges the gadget cliques slightly — see
+// codes/params.hpp for the accounting).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace congestlb::codes {
+
+/// GF(p) for prime p. Elements are represented as std::uint64_t in [0, p).
+class PrimeField {
+ public:
+  /// Requires p prime (checked) and p < 2^32 so products fit in uint64.
+  explicit PrimeField(std::uint64_t p);
+
+  std::uint64_t order() const { return p_; }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const;
+  std::uint64_t neg(std::uint64_t a) const;
+
+  /// a^e by square-and-multiply.
+  std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
+
+  /// Multiplicative inverse; requires a != 0 (Fermat: a^(p-2)).
+  std::uint64_t inv(std::uint64_t a) const;
+
+  /// Evaluate the polynomial sum_i coeffs[i] * x^i at `x` (Horner).
+  std::uint64_t eval_poly(const std::vector<std::uint64_t>& coeffs,
+                          std::uint64_t x) const;
+
+ private:
+  std::uint64_t reduce_in(std::uint64_t a) const;
+  std::uint64_t p_;
+};
+
+}  // namespace congestlb::codes

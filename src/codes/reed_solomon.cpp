@@ -1,0 +1,149 @@
+#include "codes/reed_solomon.hpp"
+
+#include "support/expect.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::codes {
+
+// ---- CodeMapping shared helpers ----
+
+std::uint64_t CodeMapping::num_messages() const {
+  auto k = checked_pow(alphabet_size(), message_length());
+  CLB_EXPECT(k.has_value(), "q^L overflows uint64");
+  return *k;
+}
+
+Word CodeMapping::message_of_index(std::uint64_t m) const {
+  CLB_EXPECT(m < num_messages(), "message index out of range");
+  const std::uint64_t q = alphabet_size();
+  Word msg(message_length());
+  for (std::size_t i = 0; i < msg.size(); ++i) {
+    msg[i] = m % q;
+    m /= q;
+  }
+  return msg;
+}
+
+Word CodeMapping::encode_index(std::uint64_t m) const {
+  return encode(message_of_index(m));
+}
+
+std::size_t hamming_distance(std::span<const Symbol> a,
+                             std::span<const Symbol> b) {
+  CLB_EXPECT(a.size() == b.size(), "hamming_distance: length mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++d;
+  }
+  return d;
+}
+
+std::size_t verify_min_distance(const CodeMapping& code,
+                                std::uint64_t exhaustive_limit,
+                                std::size_t samples, std::uint64_t seed) {
+  const std::uint64_t k = code.num_messages();
+  std::size_t min_seen = code.codeword_length() + 1;
+  auto check_pair = [&](std::uint64_t x, std::uint64_t y) {
+    const Word cx = code.encode_index(x);
+    const Word cy = code.encode_index(y);
+    const std::size_t d = hamming_distance(cx, cy);
+    CLB_EXPECT(d >= code.min_distance(),
+               "code-mapping distance below declared minimum for " +
+                   code.name());
+    min_seen = std::min(min_seen, d);
+  };
+  if (k <= exhaustive_limit) {
+    for (std::uint64_t x = 0; x < k; ++x) {
+      for (std::uint64_t y = x + 1; y < k; ++y) check_pair(x, y);
+    }
+  } else {
+    Rng rng(seed);
+    for (std::size_t s = 0; s < samples; ++s) {
+      std::uint64_t x = rng.below(k);
+      std::uint64_t y = rng.below(k - 1);
+      if (y >= x) ++y;
+      check_pair(x, y);
+    }
+  }
+  return min_seen;
+}
+
+// ---- ReedSolomonCode ----
+
+ReedSolomonCode::ReedSolomonCode(std::size_t message_length,
+                                 std::size_t codeword_length, std::uint64_t p)
+    : len_l_(message_length), len_m_(codeword_length), field_(p) {
+  CLB_EXPECT(len_l_ >= 1, "Reed-Solomon requires L >= 1");
+  CLB_EXPECT(len_l_ <= len_m_, "Reed-Solomon requires L <= M");
+  CLB_EXPECT(len_m_ <= p, "Reed-Solomon requires M <= field order");
+}
+
+std::string ReedSolomonCode::name() const {
+  return "ReedSolomon(L=" + std::to_string(len_l_) +
+         ",M=" + std::to_string(len_m_) + ",p=" +
+         std::to_string(field_.order()) + ")";
+}
+
+Word ReedSolomonCode::encode(std::span<const Symbol> message) const {
+  CLB_EXPECT(message.size() == len_l_, "Reed-Solomon: wrong message length");
+  std::vector<std::uint64_t> coeffs(message.begin(), message.end());
+  Word cw(len_m_);
+  for (std::size_t x = 0; x < len_m_; ++x) {
+    cw[x] = field_.eval_poly(coeffs, static_cast<std::uint64_t>(x));
+  }
+  return cw;
+}
+
+Word ReedSolomonCode::decode(
+    std::span<const std::optional<Symbol>> received) const {
+  CLB_EXPECT(received.size() == len_m_, "Reed-Solomon: wrong codeword length");
+  // Collect known evaluation points.
+  std::vector<std::uint64_t> xs, ys;
+  for (std::size_t x = 0; x < len_m_; ++x) {
+    if (received[x].has_value()) {
+      CLB_EXPECT(*received[x] < field_.order(),
+                 "Reed-Solomon: received symbol out of field");
+      xs.push_back(static_cast<std::uint64_t>(x));
+      ys.push_back(*received[x]);
+    }
+  }
+  CLB_EXPECT(xs.size() >= len_l_,
+             "Reed-Solomon: too many erasures (need >= L known positions)");
+
+  // Lagrange interpolation through the first L points, in coefficient
+  // form: f = sum_i ys[i] * prod_{j != i} (X - xs[j]) / (xs[i] - xs[j]).
+  std::vector<std::uint64_t> coeffs(len_l_, 0);
+  for (std::size_t i = 0; i < len_l_; ++i) {
+    // Numerator polynomial prod_{j != i} (X - xs[j]), built incrementally.
+    std::vector<std::uint64_t> num{1};
+    std::uint64_t denom = 1;
+    for (std::size_t j = 0; j < len_l_; ++j) {
+      if (j == i) continue;
+      // num *= (X - xs[j])
+      std::vector<std::uint64_t> next(num.size() + 1, 0);
+      const std::uint64_t neg_xj = field_.neg(xs[j]);
+      for (std::size_t d = 0; d < num.size(); ++d) {
+        next[d + 1] = field_.add(next[d + 1], num[d]);
+        next[d] = field_.add(next[d], field_.mul(num[d], neg_xj));
+      }
+      num = std::move(next);
+      denom = field_.mul(denom, field_.sub(xs[i], xs[j]));
+    }
+    const std::uint64_t scale = field_.mul(ys[i], field_.inv(denom));
+    for (std::size_t d = 0; d < num.size() && d < len_l_; ++d) {
+      coeffs[d] = field_.add(coeffs[d], field_.mul(num[d], scale));
+    }
+  }
+
+  // Consistency: every known position must match the interpolant; a
+  // mismatch means corruption, not erasure.
+  for (std::size_t idx = 0; idx < xs.size(); ++idx) {
+    CLB_EXPECT(field_.eval_poly(coeffs, xs[idx]) == ys[idx],
+               "Reed-Solomon: received word is not consistent with any "
+               "codeword (corrupted symbol?)");
+  }
+  return coeffs;
+}
+
+}  // namespace congestlb::codes

@@ -1,0 +1,50 @@
+// Reed-Solomon codes: the construction behind Theorem 4.
+//
+// A message (c_0, ..., c_{L-1}) in GF(p)^L is the coefficient vector of a
+// polynomial f of degree < L; its codeword is (f(0), f(1), ..., f(M-1)).
+// Two distinct polynomials of degree < L agree on at most L-1 points, so the
+// minimum distance is M - L + 1 >= M - L — meeting (in fact exceeding by one)
+// the d = M - L promised by Theorem 4.
+
+#pragma once
+
+#include <optional>
+
+#include "codes/code_mapping.hpp"
+#include "codes/prime_field.hpp"
+
+namespace congestlb::codes {
+
+class ReedSolomonCode final : public CodeMapping {
+ public:
+  /// Requires: p prime, L >= 1, L <= M <= p.
+  ReedSolomonCode(std::size_t message_length, std::size_t codeword_length,
+                  std::uint64_t p);
+
+  std::uint64_t alphabet_size() const override { return field_.order(); }
+  std::size_t message_length() const override { return len_l_; }
+  std::size_t codeword_length() const override { return len_m_; }
+  /// Singleton-style distance M - L + 1.
+  std::size_t min_distance() const override { return len_m_ - len_l_ + 1; }
+  std::string name() const override;
+
+  Word encode(std::span<const Symbol> message) const override;
+
+  /// Erasure decoding: recover the message from a codeword with up to
+  /// M - L erased positions (std::nullopt). Interpolates the unique
+  /// degree-< L polynomial through any L known points (Lagrange) and
+  /// verifies it against every remaining known position — throwing
+  /// InvariantError if the known symbols are inconsistent with a codeword
+  /// (i.e. corrupted rather than merely erased) or if fewer than L
+  /// positions survive.
+  Word decode(std::span<const std::optional<Symbol>> received) const;
+
+  const PrimeField& field() const { return field_; }
+
+ private:
+  std::size_t len_l_;
+  std::size_t len_m_;
+  PrimeField field_;
+};
+
+}  // namespace congestlb::codes

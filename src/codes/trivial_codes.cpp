@@ -1,0 +1,72 @@
+#include "codes/trivial_codes.hpp"
+
+#include "support/expect.hpp"
+
+namespace congestlb::codes {
+
+namespace {
+
+void check_symbols(std::span<const Symbol> message, std::uint64_t q) {
+  for (Symbol s : message) {
+    CLB_EXPECT(s < q, "message symbol out of alphabet range");
+  }
+}
+
+}  // namespace
+
+IdentityCode::IdentityCode(std::size_t length, std::uint64_t q)
+    : len_(length), q_(q) {
+  CLB_EXPECT(len_ >= 1, "IdentityCode requires L >= 1");
+  CLB_EXPECT(q_ >= 2, "IdentityCode requires |Sigma| >= 2");
+}
+
+std::string IdentityCode::name() const {
+  return "Identity(L=" + std::to_string(len_) + ",q=" + std::to_string(q_) +
+         ")";
+}
+
+Word IdentityCode::encode(std::span<const Symbol> message) const {
+  CLB_EXPECT(message.size() == len_, "IdentityCode: wrong message length");
+  check_symbols(message, q_);
+  return Word(message.begin(), message.end());
+}
+
+PaddingCode::PaddingCode(std::size_t message_length,
+                         std::size_t codeword_length, std::uint64_t q)
+    : len_l_(message_length), len_m_(codeword_length), q_(q) {
+  CLB_EXPECT(len_l_ >= 1, "PaddingCode requires L >= 1");
+  CLB_EXPECT(len_l_ <= len_m_, "PaddingCode requires L <= M");
+  CLB_EXPECT(q_ >= 2, "PaddingCode requires |Sigma| >= 2");
+}
+
+std::string PaddingCode::name() const {
+  return "Padding(L=" + std::to_string(len_l_) + ",M=" + std::to_string(len_m_) +
+         ",q=" + std::to_string(q_) + ")";
+}
+
+Word PaddingCode::encode(std::span<const Symbol> message) const {
+  CLB_EXPECT(message.size() == len_l_, "PaddingCode: wrong message length");
+  check_symbols(message, q_);
+  Word cw(message.begin(), message.end());
+  cw.resize(len_m_, 0);
+  return cw;
+}
+
+RepetitionCode::RepetitionCode(std::size_t codeword_length, std::uint64_t q)
+    : len_m_(codeword_length), q_(q) {
+  CLB_EXPECT(len_m_ >= 1, "RepetitionCode requires M >= 1");
+  CLB_EXPECT(q_ >= 2, "RepetitionCode requires |Sigma| >= 2");
+}
+
+std::string RepetitionCode::name() const {
+  return "Repetition(M=" + std::to_string(len_m_) + ",q=" + std::to_string(q_) +
+         ")";
+}
+
+Word RepetitionCode::encode(std::span<const Symbol> message) const {
+  CLB_EXPECT(message.size() == 1, "RepetitionCode: message length is 1");
+  check_symbols(message, q_);
+  return Word(len_m_, message[0]);
+}
+
+}  // namespace congestlb::codes

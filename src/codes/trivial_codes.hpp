@@ -1,0 +1,74 @@
+// Baseline (weak) code-mappings used for ablation.
+//
+// The paper's gadget relies on codewords being far apart (Property 2 needs a
+// matching of size >= ell between distinct codeword gadgets, which follows
+// from distance >= ell). Plugging a weak code into the same gadget breaks
+// the NO-side bound — bench_codes demonstrates exactly that, which is the
+// "why does the error-correcting code matter" ablation from DESIGN.md.
+
+#pragma once
+
+#include "codes/code_mapping.hpp"
+
+namespace congestlb::codes {
+
+/// The identity mapping Sigma^L -> Sigma^L: distance 1 (any two distinct
+/// messages differ somewhere). L = M, d = 1.
+class IdentityCode final : public CodeMapping {
+ public:
+  IdentityCode(std::size_t length, std::uint64_t q);
+
+  std::uint64_t alphabet_size() const override { return q_; }
+  std::size_t message_length() const override { return len_; }
+  std::size_t codeword_length() const override { return len_; }
+  std::size_t min_distance() const override { return 1; }
+  std::string name() const override;
+
+  Word encode(std::span<const Symbol> message) const override;
+
+ private:
+  std::size_t len_;
+  std::uint64_t q_;
+};
+
+/// Pad the message with a fixed symbol: Sigma^L -> Sigma^M, distance still 1.
+/// Same (L, M) shape as Reed-Solomon but with no distance guarantee beyond 1.
+class PaddingCode final : public CodeMapping {
+ public:
+  PaddingCode(std::size_t message_length, std::size_t codeword_length,
+              std::uint64_t q);
+
+  std::uint64_t alphabet_size() const override { return q_; }
+  std::size_t message_length() const override { return len_l_; }
+  std::size_t codeword_length() const override { return len_m_; }
+  std::size_t min_distance() const override { return 1; }
+  std::string name() const override;
+
+  Word encode(std::span<const Symbol> message) const override;
+
+ private:
+  std::size_t len_l_;
+  std::size_t len_m_;
+  std::uint64_t q_;
+};
+
+/// Repeat a single symbol M times: Sigma^1 -> Sigma^M, distance M (maximum
+/// possible), but only q messages. The opposite extreme from IdentityCode.
+class RepetitionCode final : public CodeMapping {
+ public:
+  RepetitionCode(std::size_t codeword_length, std::uint64_t q);
+
+  std::uint64_t alphabet_size() const override { return q_; }
+  std::size_t message_length() const override { return 1; }
+  std::size_t codeword_length() const override { return len_m_; }
+  std::size_t min_distance() const override { return len_m_; }
+  std::string name() const override;
+
+  Word encode(std::span<const Symbol> message) const override;
+
+ private:
+  std::size_t len_m_;
+  std::uint64_t q_;
+};
+
+}  // namespace congestlb::codes

@@ -1,0 +1,169 @@
+#include "comm/exact_cc.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "support/expect.hpp"
+
+namespace congestlb::comm {
+
+namespace {
+
+class CcSolver {
+ public:
+  explicit CcSolver(const CcMatrix& f) : f_(&f) {
+    rows_ = f.size();
+    CLB_EXPECT(rows_ >= 1 && rows_ <= kMaxCcDomain,
+               "exact cc: row count out of range");
+    cols_ = f[0].size();
+    CLB_EXPECT(cols_ >= 1 && cols_ <= kMaxCcDomain,
+               "exact cc: column count out of range");
+    for (const auto& row : f) {
+      CLB_EXPECT(row.size() == cols_, "exact cc: ragged matrix");
+      for (auto v : row) CLB_EXPECT(v <= 1, "exact cc: non-boolean entry");
+    }
+  }
+
+  std::size_t solve() {
+    const std::uint32_t all_rows = (1u << rows_) - 1;
+    const std::uint32_t all_cols = (1u << cols_) - 1;
+    return depth(all_rows, all_cols);
+  }
+
+ private:
+  /// Is f constant on the rectangle? (Empty rectangles never occur: splits
+  /// are into nonempty parts.)
+  bool constant(std::uint32_t rmask, std::uint32_t cmask) const {
+    int seen = -1;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (!(rmask & (1u << r))) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        if (!(cmask & (1u << c))) continue;
+        const int v = (*f_)[r][c];
+        if (seen == -1) {
+          seen = v;
+        } else if (seen != v) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  std::size_t depth(std::uint32_t rmask, std::uint32_t cmask) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(rmask) << 32) | cmask;
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+    std::size_t best;
+    if (constant(rmask, cmask)) {
+      best = 0;
+    } else {
+      best = std::numeric_limits<std::size_t>::max();
+      // Alice speaks: partition the live rows into (sub, rest), both
+      // nonempty. Enumerate proper nonempty submasks; (sub, rest) and
+      // (rest, sub) are symmetric, so halve by requiring sub to contain
+      // the lowest live row.
+      const std::uint32_t low_row = rmask & (~rmask + 1);
+      for (std::uint32_t sub = (rmask - 1) & rmask; sub; sub = (sub - 1) & rmask) {
+        if (!(sub & low_row)) continue;
+        const std::uint32_t rest = rmask ^ sub;
+        const std::size_t d =
+            1 + std::max(depth(sub, cmask), depth(rest, cmask));
+        best = std::min(best, d);
+        if (best == 1) break;
+      }
+      const std::uint32_t low_col = cmask & (~cmask + 1);
+      for (std::uint32_t sub = (cmask - 1) & cmask; sub && best > 1;
+           sub = (sub - 1) & cmask) {
+        if (!(sub & low_col)) continue;
+        const std::uint32_t rest = cmask ^ sub;
+        const std::size_t d =
+            1 + std::max(depth(rmask, sub), depth(rmask, rest));
+        best = std::min(best, d);
+      }
+    }
+    memo_.emplace(key, best);
+    return best;
+  }
+
+  const CcMatrix* f_;
+  std::size_t rows_ = 0, cols_ = 0;
+  std::unordered_map<std::uint64_t, std::size_t> memo_;
+};
+
+}  // namespace
+
+std::size_t exact_deterministic_cc(const CcMatrix& f) {
+  return CcSolver(f).solve();
+}
+
+CcMatrix disjointness_matrix(std::size_t k) {
+  CLB_EXPECT(k >= 1 && (1u << k) <= kMaxCcDomain,
+             "disjointness matrix: k out of range");
+  const std::size_t n = 1u << k;
+  CcMatrix f(n, std::vector<std::uint8_t>(n));
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < n; ++y) {
+      f[x][y] = (x & y) == 0 ? 1 : 0;
+    }
+  }
+  return f;
+}
+
+std::size_t fooling_set_lower_bound(
+    const CcMatrix& f,
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs) {
+  CLB_EXPECT(!f.empty() && !pairs.empty(), "fooling set: empty input");
+  const std::size_t rows = f.size(), cols = f[0].size();
+  auto at = [&](std::size_t x, std::size_t y) -> std::uint8_t {
+    CLB_EXPECT(x < rows && y < cols, "fooling set: pair out of range");
+    return f[x][y];
+  };
+  const std::uint8_t b = at(pairs[0].first, pairs[0].second);
+  for (const auto& [x, y] : pairs) {
+    CLB_EXPECT(at(x, y) == b, "fooling set: diagonal values differ");
+  }
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+      const bool cross_breaks =
+          at(pairs[i].first, pairs[j].second) != b ||
+          at(pairs[j].first, pairs[i].second) != b;
+      CLB_EXPECT(cross_breaks,
+                 "fooling set: pairs " + std::to_string(i) + "," +
+                     std::to_string(j) + " fit in one rectangle");
+    }
+  }
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < pairs.size()) ++bits;
+  return bits;
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> disjointness_fooling_set(
+    std::size_t k) {
+  CLB_EXPECT(k >= 1 && (1u << k) <= kMaxCcDomain,
+             "disjointness fooling set: k out of range");
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  const std::size_t n = 1u << k;
+  for (std::size_t s = 0; s < n; ++s) {
+    pairs.emplace_back(s, (n - 1) ^ s);  // (S, complement of S)
+  }
+  return pairs;
+}
+
+CcMatrix equality_matrix(std::size_t n) {
+  CLB_EXPECT(n >= 1 && n <= kMaxCcDomain, "equality matrix: n out of range");
+  CcMatrix f(n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t x = 0; x < n; ++x) f[x][x] = 1;
+  return f;
+}
+
+CcMatrix greater_than_matrix(std::size_t n) {
+  CLB_EXPECT(n >= 1 && n <= kMaxCcDomain,
+             "greater-than matrix: n out of range");
+  CcMatrix f(n, std::vector<std::uint8_t>(n, 0));
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = 0; y < x; ++y) f[x][y] = 1;
+  }
+  return f;
+}
+
+}  // namespace congestlb::comm

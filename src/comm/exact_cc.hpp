@@ -1,0 +1,56 @@
+// Exact deterministic two-party communication complexity, by exhaustive
+// protocol-tree search.
+//
+// The entire lower-bound technique the paper builds on bottoms out at
+// "set-disjointness costs Omega(k) bits" [19, 25]. For tiny input domains
+// that statement needs no asymptotics: D(f) is computable exactly by the
+// textbook recursion over combinatorial rectangles —
+//     D(R) = 0                       if f is constant on R,
+//     D(R) = 1 + min over nontrivial row- or column-partitions (A0, A1)
+//                of max(D(R restricted to A0), D(R restricted to A1)),
+// memoized on (row-mask, col-mask). This module evaluates D for functions
+// with up to 12x12 value matrices (set-disjointness up to k = 3), letting
+// tests pin down D(DISJ_k) = k + 1 exactly — the concrete seed of the
+// whole framework.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace congestlb::comm {
+
+/// Value matrix of a two-party Boolean function: f[x][y] in {0,1}.
+using CcMatrix = std::vector<std::vector<std::uint8_t>>;
+
+/// Exact deterministic communication complexity (total bits exchanged in
+/// the worst case until both players know f). Requires a non-empty
+/// rectangular 0/1 matrix with at most kMaxCcDomain rows and columns.
+inline constexpr std::size_t kMaxCcDomain = 12;
+std::size_t exact_deterministic_cc(const CcMatrix& f);
+
+/// The value matrix of two-party set-disjointness on k-bit sets:
+/// f[x][y] = 1 iff x and y (as subsets of [k]) are disjoint. 2^k x 2^k.
+CcMatrix disjointness_matrix(std::size_t k);
+
+/// A fooling set certificate: pairs (x_i, y_i) with f(x_i, y_i) = b for
+/// all i and, for every i != j, f(x_i, y_j) != b or f(x_j, y_i) != b.
+/// A valid fooling set of size s certifies D(f) >= ceil(log2 s) — the
+/// classical proof scheme behind the Omega(k) disjointness bound.
+/// Returns the certified lower bound; throws if the set is not fooling.
+std::size_t fooling_set_lower_bound(
+    const CcMatrix& f,
+    const std::vector<std::pair<std::size_t, std::size_t>>& pairs);
+
+/// The canonical disjointness fooling set {(S, complement(S))}: size 2^k,
+/// certifying D(DISJ_k) >= k.
+std::vector<std::pair<std::size_t, std::size_t>> disjointness_fooling_set(
+    std::size_t k);
+
+/// The value matrix of equality on [n]: f[x][y] = 1 iff x == y.
+CcMatrix equality_matrix(std::size_t n);
+
+/// The value matrix of greater-than on [n]: f[x][y] = 1 iff x > y.
+CcMatrix greater_than_matrix(std::size_t n);
+
+}  // namespace congestlb::comm

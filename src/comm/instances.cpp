@@ -1,0 +1,136 @@
+#include "comm/instances.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace congestlb::comm {
+
+namespace {
+
+void check_kt(std::size_t k, std::size_t t) {
+  CLB_EXPECT(t >= 2, "promise instances need t >= 2 players");
+  CLB_EXPECT(k >= t, "promise instances need k >= t");
+}
+
+/// Split [k] \ {excluded} into t nearly-equal chunks; returns per-player
+/// index pools.
+std::vector<std::vector<std::size_t>> disjoint_pools(
+    std::size_t k, std::size_t t, std::optional<std::size_t> excluded) {
+  std::vector<std::vector<std::size_t>> pools(t);
+  std::size_t next_player = 0;
+  for (std::size_t m = 0; m < k; ++m) {
+    if (excluded && *excluded == m) continue;
+    pools[next_player].push_back(m);
+    next_player = (next_player + 1) % t;
+  }
+  return pools;
+}
+
+}  // namespace
+
+InstanceClass classify(const std::vector<std::vector<std::uint8_t>>& strings) {
+  CLB_EXPECT(strings.size() >= 2, "classify: need at least 2 strings");
+  const std::size_t k = strings[0].size();
+  for (const auto& s : strings) {
+    CLB_EXPECT(s.size() == k, "classify: ragged string lengths");
+    for (std::uint8_t b : s) CLB_EXPECT(b <= 1, "classify: non-binary entry");
+  }
+  // Common index?
+  for (std::size_t m = 0; m < k; ++m) {
+    bool all = true;
+    for (const auto& s : strings) {
+      if (!s[m]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return InstanceClass::kUniquelyIntersecting;
+  }
+  // Pairwise disjoint?
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    for (std::size_t j = i + 1; j < strings.size(); ++j) {
+      for (std::size_t m = 0; m < k; ++m) {
+        if (strings[i][m] && strings[j][m]) {
+          return InstanceClass::kPromiseViolation;
+        }
+      }
+    }
+  }
+  return InstanceClass::kPairwiseDisjoint;
+}
+
+PromiseInstance make_uniquely_intersecting(std::size_t k, std::size_t t,
+                                           Rng& rng, double density) {
+  check_kt(k, t);
+  PromiseInstance inst;
+  inst.k = k;
+  inst.t = t;
+  inst.kind = PromiseKind::kUniquelyIntersecting;
+  inst.witness = static_cast<std::size_t>(rng.below(k));
+  inst.strings.assign(t, std::vector<std::uint8_t>(k, 0));
+  auto pools = disjoint_pools(k, t, inst.witness);
+  for (std::size_t i = 0; i < t; ++i) {
+    inst.strings[i][*inst.witness] = 1;
+    for (std::size_t m : pools[i]) {
+      if (rng.chance(density)) inst.strings[i][m] = 1;
+    }
+  }
+  return inst;
+}
+
+PromiseInstance make_loose_intersecting(std::size_t k, std::size_t t, Rng& rng,
+                                        double density) {
+  check_kt(k, t);
+  PromiseInstance inst;
+  inst.k = k;
+  inst.t = t;
+  inst.kind = PromiseKind::kUniquelyIntersecting;
+  inst.witness = static_cast<std::size_t>(rng.below(k));
+  inst.strings.assign(t, std::vector<std::uint8_t>(k, 0));
+  for (std::size_t i = 0; i < t; ++i) {
+    inst.strings[i][*inst.witness] = 1;
+    for (std::size_t m = 0; m < k; ++m) {
+      if (m != *inst.witness && rng.chance(density)) inst.strings[i][m] = 1;
+    }
+  }
+  return inst;
+}
+
+PromiseInstance make_pairwise_disjoint(std::size_t k, std::size_t t, Rng& rng,
+                                       double density) {
+  check_kt(k, t);
+  PromiseInstance inst;
+  inst.k = k;
+  inst.t = t;
+  inst.kind = PromiseKind::kPairwiseDisjoint;
+  inst.strings.assign(t, std::vector<std::uint8_t>(k, 0));
+  auto pools = disjoint_pools(k, t, std::nullopt);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t m : pools[i]) {
+      if (rng.chance(density)) inst.strings[i][m] = 1;
+    }
+  }
+  return inst;
+}
+
+const PromiseInstance& validate(const PromiseInstance& inst) {
+  CLB_EXPECT(inst.strings.size() == inst.t, "instance: wrong player count");
+  const InstanceClass cls = classify(inst.strings);
+  CLB_EXPECT(cls != InstanceClass::kPromiseViolation,
+             "instance violates the pairwise-disjointness promise");
+  const bool want_intersecting =
+      inst.kind == PromiseKind::kUniquelyIntersecting;
+  CLB_EXPECT((cls == InstanceClass::kUniquelyIntersecting) ==
+                 want_intersecting,
+             "instance kind does not match its strings");
+  if (want_intersecting) {
+    CLB_EXPECT(inst.witness.has_value(), "intersecting instance lacks witness");
+    for (const auto& s : inst.strings) {
+      CLB_EXPECT(s[*inst.witness] == 1, "witness index not set for a player");
+    }
+  }
+  return inst;
+}
+
+}  // namespace congestlb::comm

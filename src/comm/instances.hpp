@@ -1,0 +1,78 @@
+// Promise pairwise disjointness instances (Definition 2).
+//
+// t players hold strings x^1..x^t in {0,1}^k with the promise that the
+// strings are either (a) uniquely intersecting — some index m has
+// x^1_m = ... = x^t_m = 1 — or (b) pairwise disjoint. The function outputs
+// TRUE on pairwise-disjoint inputs and FALSE on uniquely-intersecting ones.
+//
+// Generators produce both branches deterministically from a seed, in two
+// flavors: "canonical" intersecting instances that are pairwise disjoint
+// away from the witness (the hard distribution used in the CKS lower bound),
+// and "loose" ones with arbitrary extra overlaps (still legal per
+// Definition 2, and exercised by robustness tests of Claim 3).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace congestlb::comm {
+
+enum class PromiseKind : std::uint8_t {
+  kUniquelyIntersecting,  ///< f = FALSE
+  kPairwiseDisjoint,      ///< f = TRUE
+};
+
+struct PromiseInstance {
+  std::size_t k = 0;  ///< string length (universe size)
+  std::size_t t = 0;  ///< number of players
+  /// strings[i][m] in {0,1}: player i's bit for index m.
+  std::vector<std::vector<std::uint8_t>> strings;
+  PromiseKind kind = PromiseKind::kPairwiseDisjoint;
+  /// For intersecting instances: the common index m.
+  std::optional<std::size_t> witness;
+
+  /// Ground-truth value of the promise pairwise disjointness function.
+  bool answer_is_disjoint() const {
+    return kind == PromiseKind::kPairwiseDisjoint;
+  }
+};
+
+/// How instance classification turned out (used to validate generators and
+/// to reject promise violations at API boundaries).
+enum class InstanceClass : std::uint8_t {
+  kUniquelyIntersecting,
+  kPairwiseDisjoint,
+  kPromiseViolation,
+};
+
+/// Classify arbitrary strings against Definition 2. Strings where both cases
+/// hold simultaneously are impossible for t >= 2 unless... they are not:
+/// a common index violates pairwise disjointness, so the cases are mutually
+/// exclusive; all-zero strings are classified as pairwise disjoint.
+InstanceClass classify(const std::vector<std::vector<std::uint8_t>>& strings);
+
+/// Canonical uniquely-intersecting instance: a witness index m set to 1 for
+/// every player, all other 1-bits drawn from per-player disjoint chunks of
+/// [k] (expected `density` fraction of each chunk). Requires k >= t >= 2.
+PromiseInstance make_uniquely_intersecting(std::size_t k, std::size_t t,
+                                           Rng& rng, double density = 0.3);
+
+/// Uniquely-intersecting instance with arbitrary extra pairwise overlaps
+/// away from the witness (legal per Definition 2's first branch).
+PromiseInstance make_loose_intersecting(std::size_t k, std::size_t t, Rng& rng,
+                                        double density = 0.3);
+
+/// Pairwise-disjoint instance: each player's 1-bits drawn from its own chunk
+/// of [k]. Requires k >= t >= 2.
+PromiseInstance make_pairwise_disjoint(std::size_t k, std::size_t t, Rng& rng,
+                                       double density = 0.3);
+
+/// Throws InvariantError unless `inst.strings` matches `inst.kind` under
+/// classify(); returns the instance by reference for chaining.
+const PromiseInstance& validate(const PromiseInstance& inst);
+
+}  // namespace congestlb::comm

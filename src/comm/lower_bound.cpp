@@ -1,0 +1,18 @@
+#include "comm/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace congestlb::comm {
+
+double cks_lower_bound_bits(std::size_t k, std::size_t t) {
+  CLB_EXPECT(k >= 1, "cks bound: k >= 1");
+  CLB_EXPECT(t >= 2, "cks bound: t >= 2");
+  const double log_t =
+      std::max(1.0, std::log2(static_cast<double>(t)));
+  return static_cast<double>(k) / (static_cast<double>(t) * log_t);
+}
+
+}  // namespace congestlb::comm

@@ -1,0 +1,64 @@
+// Reference protocols for promise pairwise disjointness.
+//
+// These provide measured *upper bounds* to contrast with the CKS lower bound
+// (Theorem 3): the gap between the cheapest protocol here (~k bits) and
+// Omega(k / t log t) shows the lower bound is tight up to O(t log t).
+// They also serve as executable documentation of the shared-blackboard model.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/blackboard.hpp"
+#include "comm/instances.hpp"
+
+namespace congestlb::comm {
+
+/// A deterministic protocol that decides promise pairwise disjointness on a
+/// shared blackboard. run() must only let player i read its own string plus
+/// the blackboard (enforced by code review, not types: players receive the
+/// full instance but honest implementations index strings[i] only).
+class DisjointnessProtocol {
+ public:
+  virtual ~DisjointnessProtocol() = default;
+
+  /// Execute on a validated promise instance; every bit of communication
+  /// goes through `board`. Returns TRUE iff pairwise disjoint (Definition 2).
+  virtual bool run(const PromiseInstance& inst, Blackboard& board) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Every player posts its entire string: t*k bits. The naive baseline.
+class FullRevelationProtocol final : public DisjointnessProtocol {
+ public:
+  bool run(const PromiseInstance& inst, Blackboard& board) const override;
+  std::string name() const override { return "full-revelation"; }
+};
+
+/// Player 0 posts the positions of its 1-bits (|x^0| * ceil(log2 k) bits
+/// plus a count header); every other player posts one bit per candidate.
+/// Cheap when the strings are sparse.
+class SupportExchangeProtocol final : public DisjointnessProtocol {
+ public:
+  bool run(const PromiseInstance& inst, Blackboard& board) const override;
+  std::string name() const override { return "support-exchange"; }
+};
+
+/// Exploits the promise: the strings are uniquely intersecting iff x^0 and
+/// x^1 already intersect (in the pairwise-disjoint case they do not; in the
+/// intersecting case they share the witness). Player 0 posts its k bits,
+/// player 1 posts a single answer bit: k + 1 bits total, within O(t log t)
+/// of the CKS lower bound.
+class PromiseAwareProtocol final : public DisjointnessProtocol {
+ public:
+  bool run(const PromiseInstance& inst, Blackboard& board) const override;
+  std::string name() const override { return "promise-aware"; }
+};
+
+/// All reference protocols, for sweep-style benches.
+std::vector<std::unique_ptr<DisjointnessProtocol>> all_reference_protocols();
+
+}  // namespace congestlb::comm

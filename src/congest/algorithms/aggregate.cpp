@@ -1,0 +1,152 @@
+#include "congest/algorithms/aggregate.hpp"
+
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::congest {
+
+namespace {
+
+constexpr std::uint64_t kTypeLevel = 0;
+constexpr std::uint64_t kTypeSum = 1;
+constexpr std::uint64_t kTypeTotal = 2;
+constexpr std::size_t kSumBits = 32;
+
+std::size_t level_bits_for(std::size_t n) {
+  return static_cast<std::size_t>(
+      std::max(1, ceil_log2(std::max<std::size_t>(2, n + 1))));
+}
+
+class AggregateProgram final : public NodeProgram {
+ public:
+  explicit AggregateProgram(graph::NodeId root) : root_(root) {}
+
+  void round(const NodeInfo& info, const Inbox& inbox, Outbox& outbox,
+             Rng&) override {
+    if (!initialized_) initialize(info);
+
+    // ---- ingest ----------------------------------------------------------
+    for (std::size_t s = 0; s < inbox.size(); ++s) {
+      if (!inbox[s]) continue;
+      MessageReader r(*inbox[s]);
+      const std::uint64_t type = r.get(2);
+      if (type == kTypeLevel) {
+        const std::uint64_t their_level = r.get(level_bits_);
+        const bool adopted_me = r.get(1) != 0;
+        if (level_ == kUnset) {
+          level_ = their_level + 1;
+          parent_slot_ = s;
+        }
+        neighbor_declared_[s] = true;
+        is_child_[s] = adopted_me;
+      } else if (type == kTypeSum) {
+        child_sum_ += r.get(kSumBits);
+        ++sums_received_;
+      } else {  // kTypeTotal
+        if (total_ == kUnset) total_ = r.get(kSumBits);
+      }
+    }
+
+    // ---- decide this round's (single) action ----------------------------
+    // Each action fires at most once; one message per neighbor per round is
+    // guaranteed by acting on one phase at a time.
+    if (level_ != kUnset && !announced_level_) {
+      announced_level_ = true;
+      for (std::size_t s = 0; s < info.neighbors.size(); ++s) {
+        MessageWriter w;
+        w.put(kTypeLevel, 2);
+        w.put(level_, level_bits_);
+        w.put(parent_slot_.has_value() && *parent_slot_ == s ? 1 : 0, 1);
+        outbox.send(s, std::move(w).finish());
+      }
+      return;
+    }
+
+    const bool all_declared = [&] {
+      for (bool d : neighbor_declared_) {
+        if (!d) return false;
+      }
+      return true;
+    }();
+    const std::size_t num_children = [&] {
+      std::size_t c = 0;
+      for (bool ch : is_child_) c += ch ? 1 : 0;
+      return c;
+    }();
+
+    if (announced_level_ && all_declared && sums_received_ == num_children &&
+        !sum_done_) {
+      sum_done_ = true;
+      const std::uint64_t subtree =
+          static_cast<std::uint64_t>(info.weight) + child_sum_;
+      CLB_EXPECT(subtree < (1ULL << kSumBits),
+                 "aggregate: subtree weight exceeds 32-bit field");
+      if (parent_slot_.has_value()) {
+        MessageWriter w;
+        w.put(kTypeSum, 2);
+        w.put(subtree, kSumBits);
+        outbox.send(*parent_slot_, std::move(w).finish());
+        return;
+      }
+      // Root: the subtree sum is the global total.
+      total_ = subtree;
+    }
+
+    if (total_ != kUnset && !forwarded_total_) {
+      forwarded_total_ = true;
+      for (std::size_t s = 0; s < info.neighbors.size(); ++s) {
+        if (!is_child_[s]) continue;
+        MessageWriter w;
+        w.put(kTypeTotal, 2);
+        w.put(total_, kSumBits);
+        outbox.send(s, std::move(w).finish());
+      }
+    }
+  }
+
+  bool finished() const override { return total_ != kUnset && forwarded_total_; }
+  std::int64_t output() const override {
+    return total_ == kUnset ? 0 : static_cast<std::int64_t>(total_);
+  }
+
+ private:
+  void initialize(const NodeInfo& info) {
+    initialized_ = true;
+    level_bits_ = level_bits_for(info.n);
+    CLB_EXPECT(info.bits_per_edge >= aggregate_required_bits(info.n),
+               "aggregate: per-edge bandwidth too small; use "
+               "aggregate_required_bits()");
+    neighbor_declared_.assign(info.neighbors.size(), false);
+    is_child_.assign(info.neighbors.size(), false);
+    if (info.id == root_) level_ = 0;
+  }
+
+  static constexpr std::uint64_t kUnset = ~0ULL;
+  graph::NodeId root_;
+  bool initialized_ = false;
+  std::size_t level_bits_ = 0;
+  std::uint64_t level_ = kUnset;
+  std::optional<std::size_t> parent_slot_;
+  std::vector<bool> neighbor_declared_;
+  std::vector<bool> is_child_;
+  std::uint64_t child_sum_ = 0;
+  std::size_t sums_received_ = 0;
+  bool announced_level_ = false;
+  bool sum_done_ = false;
+  std::uint64_t total_ = kUnset;
+  bool forwarded_total_ = false;
+};
+
+}  // namespace
+
+std::size_t aggregate_required_bits(std::size_t n) {
+  return 2 + std::max(level_bits_for(n) + 1, kSumBits);
+}
+
+ProgramFactory aggregate_weight_factory(graph::NodeId root) {
+  return [root](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<AggregateProgram>(root);
+  };
+}
+
+}  // namespace congestlb::congest

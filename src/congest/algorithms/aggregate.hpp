@@ -1,0 +1,28 @@
+// Convergecast weight aggregation over a BFS tree (upcast + downcast).
+//
+// The classic three-phase CONGEST pattern:
+//   1. BFS layering from the root; every node adopts a parent and tells
+//      every neighbor whether it adopted them (so child sets are known
+//      exactly);
+//   2. upcast: each node, once all children reported, sends its subtree
+//      weight to its parent; the root obtains the global total;
+//   3. downcast: the total is flooded back down the tree.
+// O(D) rounds for phases 1 and 3, O(depth) for phase 2; every node ends
+// with output() = total node weight of the graph. Requires a connected
+// graph and total weight < 2^32.
+
+#pragma once
+
+#include "congest/network.hpp"
+
+namespace congestlb::congest {
+
+/// Per-edge bandwidth needed by the aggregation messages on an n-node
+/// network (type tag + max(level+adopt, 32-bit sum)).
+std::size_t aggregate_required_bits(std::size_t n);
+
+/// Program outputs: every node's output() is the network's total weight
+/// (0 until known).
+ProgramFactory aggregate_weight_factory(graph::NodeId root);
+
+}  // namespace congestlb::congest

@@ -1,0 +1,106 @@
+#include "congest/algorithms/coloring.hpp"
+
+#include <vector>
+
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::congest {
+
+namespace {
+
+class RandomColoringProgram final : public NodeProgram {
+ public:
+  void round(const NodeInfo& info, const Inbox& inbox, Outbox& outbox,
+             Rng& rng) override {
+    if (color_bits_ == 0) {
+      // Colors never exceed deg(v) <= n-1; one shared field width.
+      color_bits_ = static_cast<std::size_t>(
+          std::max(1, ceil_log2(std::max<std::size_t>(2, info.n + 1))));
+      neighbor_decided_.assign(info.neighbors.size(), false);
+      neighbor_color_.assign(info.neighbors.size(), 0);
+      palette_blocked_.assign(info.neighbors.size() + 1, false);
+    }
+    for (std::size_t s = 0; s < inbox.size(); ++s) {
+      if (!inbox[s]) continue;
+      MessageReader r(*inbox[s]);
+      const bool their_final = r.get(1) != 0;
+      const std::uint64_t their_color = r.get(color_bits_);
+      neighbor_color_[s] = their_color;
+      if (their_final && !neighbor_decided_[s]) {
+        neighbor_decided_[s] = true;
+        if (their_color < palette_blocked_.size()) {
+          palette_blocked_[their_color] = true;
+        }
+      }
+    }
+
+    if (!decided_ && announced_tentative_) {
+      // Did last round's tentative survive? It conflicts if any undecided
+      // neighbor announced the same tentative, or a neighbor finalized it.
+      bool conflict = palette_blocked_[tentative_];
+      for (std::size_t s = 0; s < neighbor_color_.size() && !conflict; ++s) {
+        if (!neighbor_decided_[s] && neighbor_color_[s] == tentative_) {
+          conflict = true;
+        }
+      }
+      if (!conflict) decided_ = true;
+    }
+
+    const bool neighbors_done = [&] {
+      for (bool d : neighbor_decided_) {
+        if (!d) return false;
+      }
+      return true;
+    }();
+    if (decided_ && neighbors_done && announced_final_) {
+      finished_ = true;
+      return;
+    }
+
+    if (!decided_) {
+      // Fresh tentative from the unblocked palette.
+      std::vector<std::uint64_t> open;
+      for (std::uint64_t c = 0; c < palette_blocked_.size(); ++c) {
+        if (!palette_blocked_[c]) open.push_back(c);
+      }
+      CLB_EXPECT(!open.empty(), "coloring: palette exhausted — impossible");
+      tentative_ = open[rng.below(open.size())];
+      announced_tentative_ = true;
+    }
+    if (!info.neighbors.empty()) {
+      Message m = std::move(MessageWriter()
+                                .put(decided_ ? 1 : 0, 1)
+                                .put(tentative_, color_bits_))
+                      .finish();
+      outbox.send_all(m);
+    }
+    if (decided_) announced_final_ = true;
+  }
+
+  bool finished() const override { return finished_; }
+  std::int64_t output() const override {
+    return decided_ ? static_cast<std::int64_t>(tentative_ + 1) : 0;
+  }
+
+ private:
+  std::size_t color_bits_ = 0;
+  std::uint64_t tentative_ = 0;
+  bool announced_tentative_ = false;
+  bool decided_ = false;
+  bool announced_final_ = false;
+  bool finished_ = false;
+  std::vector<bool> neighbor_decided_;
+  std::vector<std::uint64_t> neighbor_color_;
+  std::vector<bool> palette_blocked_;
+};
+
+}  // namespace
+
+ProgramFactory random_coloring_factory() {
+  return [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<RandomColoringProgram>();
+  };
+}
+
+}  // namespace congestlb::congest

@@ -1,0 +1,23 @@
+// Randomized distributed (deg+1)-coloring.
+//
+// Each round every undecided node draws a tentative color uniformly from
+// its palette {0, ..., deg(v)} minus the final colors of decided
+// neighbors, announces it, and finalizes when no undecided neighbor drew
+// the same color. The palette can never be exhausted (deg+1 colors, at
+// most deg blocked), each trial succeeds with probability >= 1/2, so the
+// algorithm finishes in O(log n) rounds w.h.p. — the third classic
+// symmetry-breaking primitive next to MIS and leader election, rounding
+// out the CONGEST algorithm library.
+
+#pragma once
+
+#include "congest/network.hpp"
+
+namespace congestlb::congest {
+
+/// output(): final color + 1 (so 0 means "still undecided", which after a
+/// completed run never happens). Colors are in [0, deg(v)] per node, hence
+/// at most max_degree+1 colors network-wide.
+ProgramFactory random_coloring_factory();
+
+}  // namespace congestlb::congest

@@ -1,0 +1,88 @@
+#include "congest/algorithms/greedy_mis.hpp"
+
+#include <vector>
+
+#include "congest/algorithms/mis_common.hpp"
+#include "support/expect.hpp"
+
+namespace congestlb::congest {
+
+namespace {
+
+class GreedyMisProgram final : public NodeProgram {
+ public:
+  void round(const NodeInfo& info, const Inbox& inbox, Outbox& outbox,
+             Rng& /*rng*/) override {
+    if (neighbor_state_.empty()) {
+      neighbor_state_.assign(info.neighbors.size(), IsState::kUndecided);
+    }
+    // Ingest neighbor states from last round.
+    for (std::size_t s = 0; s < inbox.size(); ++s) {
+      if (!inbox[s]) continue;
+      MessageReader r(*inbox[s]);
+      neighbor_state_[s] = static_cast<IsState>(r.get(2));
+    }
+    // A neighbor in the set forces us out.
+    if (state_ == IsState::kUndecided) {
+      for (IsState s : neighbor_state_) {
+        if (s == IsState::kIn) {
+          state_ = IsState::kOut;
+          break;
+        }
+      }
+    }
+    // Join if we dominate all still-undecided neighbors by id. Valid only
+    // once we've heard from everyone at least once (round >= 1).
+    if (state_ == IsState::kUndecided && heard_once_) {
+      bool dominated = false;
+      for (std::size_t s = 0; s < info.neighbors.size(); ++s) {
+        if (neighbor_state_[s] == IsState::kUndecided &&
+            info.neighbors[s] > info.id) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) state_ = IsState::kIn;
+    }
+    heard_once_ = true;
+
+    // Announce state while anything around us can still change. Once we and
+    // all neighbors are decided and we've broadcast the decision, go quiet.
+    const bool neighbors_decided = [&] {
+      for (IsState s : neighbor_state_) {
+        if (s == IsState::kUndecided) return false;
+      }
+      return true;
+    }();
+    if (state_ != IsState::kUndecided && neighbors_decided &&
+        announced_final_) {
+      finished_ = true;
+      return;
+    }
+    Message m = std::move(MessageWriter()
+                              .put(static_cast<std::uint64_t>(state_), 2))
+                    .finish();
+    outbox.send_all(m);
+    if (state_ != IsState::kUndecided) announced_final_ = true;
+  }
+
+  bool finished() const override { return finished_; }
+  std::int64_t output() const override { return state_ == IsState::kIn ? 1 : 0; }
+
+ private:
+  IsState state_ = IsState::kUndecided;
+  std::vector<IsState> neighbor_state_;
+  bool heard_once_ = false;
+  bool announced_final_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+ProgramFactory greedy_mis_factory() {
+  return [](NodeId, const NodeInfo&) {
+    return std::make_unique<GreedyMisProgram>();
+  };
+}
+
+}  // namespace congestlb::congest

@@ -1,0 +1,21 @@
+// Distributed greedy MIS by identifier.
+//
+// Every round each undecided node tells its neighbors its state; a node
+// joins the MIS when its id exceeds the ids of all still-undecided
+// neighbors. Deterministic, O(n) rounds worst case, 2 bits per message.
+// This is the simplest CONGEST independent-set routine and serves as one of
+// the upper-bound baselines contrasted with the paper's hardness results
+// (an MIS is only a Delta-approximation to MaxIS in general).
+
+#pragma once
+
+#include <memory>
+
+#include "congest/network.hpp"
+
+namespace congestlb::congest {
+
+/// Factory for Network: one GreedyMisProgram per node.
+ProgramFactory greedy_mis_factory();
+
+}  // namespace congestlb::congest

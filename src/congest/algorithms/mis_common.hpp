@@ -1,0 +1,21 @@
+// Shared state machine for the independent-set node programs.
+//
+// All three local algorithms (greedy-by-id, Luby, weighted-greedy) follow the
+// same skeleton: undecided nodes repeatedly exchange a comparison key with
+// their neighbors; a node joins the IS when its key beats every undecided
+// neighbor, and a node leaves when a neighbor joins. They differ only in the
+// key (static id / fresh randomness / weight).
+
+#pragma once
+
+#include <cstdint>
+
+namespace congestlb::congest {
+
+enum class IsState : std::uint8_t {
+  kUndecided = 0,
+  kIn = 1,
+  kOut = 2,
+};
+
+}  // namespace congestlb::congest

@@ -1,0 +1,170 @@
+#include "congest/algorithms/universal_maxis.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::congest {
+
+namespace {
+
+constexpr std::size_t kWeightBits = 32;
+
+struct Token {
+  bool is_edge = false;
+  std::uint64_t a = 0;  ///< node id / edge endpoint u
+  std::uint64_t b = 0;  ///< degree / edge endpoint v
+  std::uint64_t w = 0;  ///< weight (node tokens only)
+};
+
+class UniversalMaxIsProgram final : public NodeProgram {
+ public:
+  explicit UniversalMaxIsProgram(LocalMaxIsSolver solver)
+      : solver_(std::move(solver)) {
+    CLB_EXPECT(solver_ != nullptr, "universal-maxis: solver must be provided");
+  }
+
+  void round(const NodeInfo& info, const Inbox& inbox, Outbox& outbox,
+             Rng& /*rng*/) override {
+    if (!initialized_) initialize(info);
+
+    for (const auto& msg : inbox) {
+      if (msg) ingest(info, *msg);
+    }
+    try_finish(info);
+
+    // Forward one not-yet-sent token per neighbor.
+    for (std::size_t s = 0; s < info.neighbors.size(); ++s) {
+      if (cursor_[s] >= tokens_.size()) continue;
+      const Token& tok = tokens_[cursor_[s]++];
+      MessageWriter w;
+      w.put(tok.is_edge ? 1 : 0, 1);
+      w.put(tok.a, id_bits_);
+      w.put(tok.b, id_bits_);
+      if (!tok.is_edge) w.put(tok.w, kWeightBits);
+      outbox.send(s, std::move(w).finish());
+    }
+  }
+
+  bool finished() const override {
+    if (!have_solution_) return false;
+    for (std::size_t c : cursor_) {
+      if (c < tokens_.size()) return false;
+    }
+    return true;
+  }
+
+  std::int64_t output() const override { return in_set_ ? 1 : 0; }
+
+ private:
+  void initialize(const NodeInfo& info) {
+    initialized_ = true;
+    id_bits_ = static_cast<std::size_t>(
+        std::max(1, ceil_log2(std::max<std::size_t>(2, info.n))));
+    CLB_EXPECT(info.bits_per_edge >= 1 + 2 * id_bits_ + kWeightBits,
+               "universal-maxis: per-edge bandwidth too small for tokens; "
+               "use universal_required_bits()");
+    CLB_EXPECT(info.weight >= 0 &&
+                   static_cast<std::uint64_t>(info.weight) < (1ULL << kWeightBits),
+               "universal-maxis: weight does not fit token field");
+    cursor_.assign(info.neighbors.size(), 0);
+    node_known_.assign(info.n, false);
+    degree_.assign(info.n, 0);
+    weight_.assign(info.n, 0);
+    // Seed with own node token and incident edge tokens.
+    add_node_token(info.id, info.neighbors.size(),
+                   static_cast<std::uint64_t>(info.weight));
+    for (NodeId nb : info.neighbors) {
+      add_edge_token(info, std::min<std::uint64_t>(info.id, nb),
+                     std::max<std::uint64_t>(info.id, nb));
+    }
+  }
+
+  void add_node_token(std::uint64_t id, std::uint64_t deg, std::uint64_t w) {
+    if (node_known_[id]) return;
+    node_known_[id] = true;
+    degree_[id] = deg;
+    weight_[id] = w;
+    ++num_nodes_known_;
+    tokens_.push_back(Token{false, id, deg, w});
+  }
+
+  void add_edge_token(const NodeInfo& info, std::uint64_t u, std::uint64_t v) {
+    const std::uint64_t key = u * info.n + v;
+    if (!edge_known_.insert(key).second) return;
+    tokens_.push_back(Token{true, u, v, 0});
+  }
+
+  void ingest(const NodeInfo& info, const Message& msg) {
+    MessageReader r(msg);
+    const bool is_edge = r.get(1) != 0;
+    const std::uint64_t a = r.get(id_bits_);
+    const std::uint64_t b = r.get(id_bits_);
+    CLB_EXPECT(a < info.n && b < info.n, "universal-maxis: bad token ids");
+    if (is_edge) {
+      add_edge_token(info, a, b);
+    } else {
+      add_node_token(a, b, r.get(kWeightBits));
+    }
+  }
+
+  void try_finish(const NodeInfo& info) {
+    if (have_solution_ || num_nodes_known_ < info.n) return;
+    std::uint64_t deg_sum = 0;
+    for (std::uint64_t d : degree_) deg_sum += d;
+    if (edge_known_.size() * 2 != deg_sum) return;
+    // Reconstruct and solve.
+    graph::Graph g(info.n);
+    for (NodeId v = 0; v < info.n; ++v) {
+      g.set_weight(v, static_cast<graph::Weight>(weight_[v]));
+    }
+    for (const Token& tok : tokens_) {
+      if (tok.is_edge) g.add_edge(tok.a, tok.b);
+    }
+    const auto solution = solver_(g);
+    CLB_EXPECT(g.is_independent_set(solution),
+               "universal-maxis: solver returned a non-independent set");
+    in_set_ = false;
+    for (NodeId v : solution) {
+      if (v == info.id) {
+        in_set_ = true;
+        break;
+      }
+    }
+    have_solution_ = true;
+  }
+
+  LocalMaxIsSolver solver_;
+  bool initialized_ = false;
+  std::size_t id_bits_ = 0;
+  std::vector<Token> tokens_;
+  std::vector<std::size_t> cursor_;
+  std::vector<bool> node_known_;
+  std::vector<std::uint64_t> degree_;
+  std::vector<std::uint64_t> weight_;
+  std::unordered_set<std::uint64_t> edge_known_;
+  std::size_t num_nodes_known_ = 0;
+  bool have_solution_ = false;
+  bool in_set_ = false;
+};
+
+}  // namespace
+
+std::size_t universal_required_bits(std::size_t n, graph::Weight max_weight) {
+  CLB_EXPECT(max_weight >= 0 &&
+                 static_cast<std::uint64_t>(max_weight) < (1ULL << kWeightBits),
+             "universal-maxis: max weight exceeds token field");
+  const std::size_t id_bits = static_cast<std::size_t>(
+      std::max(1, ceil_log2(std::max<std::size_t>(2, n))));
+  return 1 + 2 * id_bits + kWeightBits;
+}
+
+ProgramFactory universal_maxis_factory(LocalMaxIsSolver solver) {
+  return [solver = std::move(solver)](NodeId, const NodeInfo&) {
+    return std::make_unique<UniversalMaxIsProgram>(solver);
+  };
+}
+
+}  // namespace congestlb::congest

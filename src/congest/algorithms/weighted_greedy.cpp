@@ -1,0 +1,102 @@
+#include "congest/algorithms/weighted_greedy.hpp"
+
+#include <vector>
+
+#include "congest/algorithms/mis_common.hpp"
+#include "support/expect.hpp"
+
+namespace congestlb::congest {
+
+namespace {
+
+class WeightedGreedyProgram final : public NodeProgram {
+ public:
+  void round(const NodeInfo& info, const Inbox& inbox, Outbox& outbox,
+             Rng& /*rng*/) override {
+    if (neighbor_state_.empty() && !info.neighbors.empty()) {
+      neighbor_state_.assign(info.neighbors.size(), IsState::kUndecided);
+      neighbor_weight_.assign(info.neighbors.size(), 0);
+    }
+    if (weight_bits_ == 0) {
+      weight_bits_ = info.bits_per_edge > 2
+                         ? std::min<std::size_t>(32, info.bits_per_edge - 2)
+                         : 1;
+      CLB_EXPECT(info.weight >= 0 &&
+                     (weight_bits_ >= 64 ||
+                      static_cast<std::uint64_t>(info.weight) <
+                          (1ULL << weight_bits_)),
+                 "weighted-greedy: node weight does not fit the bandwidth");
+    }
+
+    for (std::size_t s = 0; s < inbox.size(); ++s) {
+      if (!inbox[s]) continue;
+      MessageReader r(*inbox[s]);
+      neighbor_state_[s] = static_cast<IsState>(r.get(2));
+      neighbor_weight_[s] = static_cast<graph::Weight>(r.get(weight_bits_));
+    }
+
+    if (state_ == IsState::kUndecided) {
+      for (IsState s : neighbor_state_) {
+        if (s == IsState::kIn) {
+          state_ = IsState::kOut;
+          break;
+        }
+      }
+    }
+    if (state_ == IsState::kUndecided && heard_once_) {
+      bool dominated = false;
+      for (std::size_t s = 0; s < neighbor_state_.size(); ++s) {
+        if (neighbor_state_[s] != IsState::kUndecided) continue;
+        const auto theirs = std::pair(neighbor_weight_[s], info.neighbors[s]);
+        const auto mine = std::pair(info.weight, info.id);
+        if (theirs > mine) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) state_ = IsState::kIn;
+    }
+    heard_once_ = true;
+
+    const bool neighbors_decided = [&] {
+      for (IsState s : neighbor_state_) {
+        if (s == IsState::kUndecided) return false;
+      }
+      return true;
+    }();
+    if (state_ != IsState::kUndecided && neighbors_decided &&
+        announced_final_) {
+      finished_ = true;
+      return;
+    }
+    Message m =
+        std::move(MessageWriter()
+                      .put(static_cast<std::uint64_t>(state_), 2)
+                      .put(static_cast<std::uint64_t>(info.weight), weight_bits_))
+            .finish();
+    outbox.send_all(m);
+    if (state_ != IsState::kUndecided) announced_final_ = true;
+  }
+
+  bool finished() const override { return finished_; }
+  std::int64_t output() const override { return state_ == IsState::kIn ? 1 : 0; }
+
+ private:
+  IsState state_ = IsState::kUndecided;
+  std::vector<IsState> neighbor_state_;
+  std::vector<graph::Weight> neighbor_weight_;
+  std::size_t weight_bits_ = 0;
+  bool heard_once_ = false;
+  bool announced_final_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+ProgramFactory weighted_greedy_factory() {
+  return [](NodeId, const NodeInfo&) {
+    return std::make_unique<WeightedGreedyProgram>();
+  };
+}
+
+}  // namespace congestlb::congest

@@ -1,0 +1,19 @@
+// Distributed weighted-greedy independent set.
+//
+// Identical skeleton to greedy MIS, but a node joins when its
+// (weight, id) pair dominates all undecided neighbors — the natural local
+// heuristic for *maximum-weight* independent set. Produces a maximal IS
+// whose weight is within a factor Delta+1 of optimal (each selected node
+// excludes at most Delta neighbors, each of smaller weight). The paper's
+// hardness results say that in CONGEST no fast algorithm can do much better
+// than this kind of factor: beating 1/2 takes Omega(n/log^3 n) rounds.
+
+#pragma once
+
+#include "congest/network.hpp"
+
+namespace congestlb::congest {
+
+ProgramFactory weighted_greedy_factory();
+
+}  // namespace congestlb::congest

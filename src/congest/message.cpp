@@ -1,0 +1,44 @@
+#include "congest/message.hpp"
+
+#include "support/expect.hpp"
+
+namespace congestlb::congest {
+
+MessageWriter& MessageWriter::put(std::uint64_t value, std::size_t width) {
+  CLB_EXPECT(width >= 1 && width <= 64, "MessageWriter: width in [1,64]");
+  if (width < 64) {
+    CLB_EXPECT(value < (1ULL << width),
+               "MessageWriter: value does not fit in declared width");
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t bit_index = bits_ + i;
+    if (bit_index / 8 >= data_.size()) data_.push_back(std::byte{0});
+    if ((value >> i) & 1) {
+      data_[bit_index / 8] |= static_cast<std::byte>(1u << (bit_index % 8));
+    }
+  }
+  bits_ += width;
+  return *this;
+}
+
+Message MessageWriter::finish() && {
+  Message m;
+  m.data = std::move(data_);
+  m.bits = bits_;
+  return m;
+}
+
+std::uint64_t MessageReader::get(std::size_t width) {
+  CLB_EXPECT(width >= 1 && width <= 64, "MessageReader: width in [1,64]");
+  CLB_EXPECT(pos_ + width <= msg_->bits, "MessageReader: read past end");
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t bit_index = pos_ + i;
+    const auto byte = static_cast<unsigned>(msg_->data[bit_index / 8]);
+    if ((byte >> (bit_index % 8)) & 1u) value |= 1ULL << i;
+  }
+  pos_ += width;
+  return value;
+}
+
+}  // namespace congestlb::congest

@@ -1,0 +1,55 @@
+// CONGEST messages.
+//
+// In the CONGEST model each node may send a (possibly different) message of
+// O(log n) bits to each neighbor per round. A Message carries an explicit
+// bit count; congest::Network enforces the per-edge budget and sim::
+// ReductionDriver charges exactly these bits to the blackboard for cut
+// edges. Helpers pack/unpack small integer fields so algorithm code never
+// hand-rolls bit twiddling.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace congestlb::congest {
+
+struct Message {
+  std::vector<std::byte> data;
+  std::size_t bits = 0;
+
+  bool empty() const { return bits == 0; }
+};
+
+/// Append-only bit writer producing a Message.
+class MessageWriter {
+ public:
+  /// Append the low `width` bits of value (width in [1,64]).
+  MessageWriter& put(std::uint64_t value, std::size_t width);
+
+  Message finish() &&;
+
+  std::size_t bits() const { return bits_; }
+
+ private:
+  std::vector<std::byte> data_;
+  std::size_t bits_ = 0;
+};
+
+/// Sequential bit reader over a Message.
+class MessageReader {
+ public:
+  explicit MessageReader(const Message& msg) : msg_(&msg) {}
+
+  /// Read `width` bits (width in [1,64]); throws if past the end.
+  std::uint64_t get(std::size_t width);
+
+  std::size_t remaining() const { return msg_->bits - pos_; }
+
+ private:
+  const Message* msg_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace congestlb::congest

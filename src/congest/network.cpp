@@ -1,0 +1,210 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::congest {
+
+void Outbox::send(std::size_t slot, Message msg) {
+  CLB_EXPECT(slot < slots_.size(), "Outbox: neighbor slot out of range");
+  CLB_EXPECT(!slots_[slot].has_value(),
+             "Outbox: one message per neighbor per round");
+  CLB_EXPECT(msg.bits > 0, "Outbox: refusing to send an empty message");
+  slots_[slot] = std::move(msg);
+}
+
+void Outbox::send_all(const Message& msg) {
+  for (std::size_t i = 0; i < slots_.size(); ++i) send(i, msg);
+}
+
+std::size_t congest_bandwidth_bits(std::size_t n) {
+  return 4 * static_cast<std::size_t>(std::max(1, ceil_log2(std::max<std::size_t>(2, n))));
+}
+
+Network::Network(const graph::Graph& g, const ProgramFactory& factory,
+                 NetworkConfig config)
+    : g_(&g), config_(config) {
+  CLB_EXPECT(g.num_nodes() > 0, "Network: empty graph");
+  bits_per_edge_ = config.bits_per_edge != 0 ? config.bits_per_edge
+                                             : congest_bandwidth_bits(g.num_nodes());
+  CLB_EXPECT(bits_per_edge_ >= 1, "Network: bandwidth must be positive");
+
+  // Assign dense edge ids (u < v order) and per-node slot -> edge id maps.
+  edge_id_.resize(g.num_nodes());
+  std::size_t next_edge = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    edge_id_[u].resize(g.neighbors(u).size());
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto& nb = g.neighbors(u);
+    for (std::size_t s = 0; s < nb.size(); ++s) {
+      const NodeId v = nb[s];
+      if (u < v) {
+        edge_id_[u][s] = next_edge;
+        // Find u's slot in v's neighbor list (sorted -> binary search).
+        const auto& nv = g.neighbors(v);
+        const auto it = std::lower_bound(nv.begin(), nv.end(), u);
+        edge_id_[v][static_cast<std::size_t>(it - nv.begin())] = next_edge;
+        ++next_edge;
+      }
+    }
+  }
+  edge_bits_.assign(next_edge, 0);
+
+  Rng seeder(config.seed);
+  infos_.reserve(g.num_nodes());
+  programs_.reserve(g.num_nodes());
+  inflight_.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    NodeInfo info;
+    info.id = v;
+    info.n = g.num_nodes();
+    info.weight = g.weight(v);
+    info.neighbors = g.neighbors(v);
+    info.bits_per_edge = bits_per_edge_;
+    infos_.push_back(std::move(info));
+    node_rng_.push_back(seeder.fork());
+    inflight_.emplace_back(infos_.back().neighbors.size());
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    programs_.push_back(factory(v, infos_[v]));
+    CLB_EXPECT(programs_.back() != nullptr, "Network: factory returned null");
+  }
+}
+
+bool Network::step() {
+  const std::size_t n = g_->num_nodes();
+  std::vector<Outbox> outboxes;
+  outboxes.reserve(n);
+  bool any_inbound = false;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const auto& m : inflight_[v]) {
+      if (m.has_value()) {
+        any_inbound = true;
+        break;
+      }
+    }
+    if (any_inbound) break;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    Outbox out(infos_[v].neighbors.size());
+    programs_[v]->round(infos_[v], inflight_[v], out, node_rng_[v]);
+    outboxes.push_back(std::move(out));
+  }
+  // Enforce bandwidth + broadcast restriction, account bits, deliver.
+  bool any_sent = false;
+  std::vector<Inbox> next(n);
+  for (NodeId v = 0; v < n; ++v) next[v].resize(infos_[v].neighbors.size());
+  for (NodeId u = 0; u < n; ++u) {
+    const auto& slots = outboxes[u].slots();
+    if (config_.broadcast_only) {
+      // All non-empty slots must carry identical payloads.
+      const Message* first = nullptr;
+      for (const auto& m : slots) {
+        if (!m) continue;
+        if (!first) {
+          first = &*m;
+        } else {
+          CLB_EXPECT(first->bits == m->bits && first->data == m->data,
+                     "CONGEST-Broadcast: different messages to different "
+                     "neighbors in one round");
+        }
+      }
+    }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (!slots[s]) continue;
+      const Message& m = *slots[s];
+      CLB_EXPECT(m.bits <= bits_per_edge_,
+                 "CONGEST bandwidth exceeded: message of " +
+                     std::to_string(m.bits) + " bits on a " +
+                     std::to_string(bits_per_edge_) + "-bit edge");
+      any_sent = true;
+      stats_.messages_sent += 1;
+      stats_.bits_sent += m.bits;
+      edge_bits_[edge_id_[u][s]] += m.bits;
+      // Deliver to neighbor v at v's slot for u.
+      const NodeId v = infos_[u].neighbors[s];
+      if (config_.on_message) config_.on_message(stats_.rounds, u, v, m);
+      const auto& nv = infos_[v].neighbors;
+      const auto it = std::lower_bound(nv.begin(), nv.end(), u);
+      next[v][static_cast<std::size_t>(it - nv.begin())] = m;
+    }
+  }
+  inflight_ = std::move(next);
+  stats_.rounds += 1;
+  return any_sent || any_inbound;
+}
+
+RunStats Network::run() {
+  while (stats_.rounds < config_.max_rounds) {
+    bool all_done = true;
+    for (const auto& p : programs_) {
+      if (!p->finished()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      bool quiet = true;
+      for (const auto& inbox : inflight_) {
+        for (const auto& m : inbox) {
+          if (m.has_value()) {
+            quiet = false;
+            break;
+          }
+        }
+        if (!quiet) break;
+      }
+      if (quiet) break;
+    }
+    step();
+  }
+  stats_.all_finished =
+      std::all_of(programs_.begin(), programs_.end(),
+                  [](const auto& p) { return p->finished(); });
+  return stats_;
+}
+
+RunStats Network::run_rounds(std::size_t rounds) {
+  for (std::size_t r = 0; r < rounds; ++r) step();
+  stats_.all_finished =
+      std::all_of(programs_.begin(), programs_.end(),
+                  [](const auto& p) { return p->finished(); });
+  return stats_;
+}
+
+const NodeProgram& Network::program(NodeId v) const {
+  CLB_EXPECT(v < programs_.size(), "Network: node id out of range");
+  return *programs_[v];
+}
+
+const NodeInfo& Network::info(NodeId v) const {
+  CLB_EXPECT(v < infos_.size(), "Network: node id out of range");
+  return infos_[v];
+}
+
+std::uint64_t Network::bits_on_edge(NodeId u, NodeId v) const {
+  CLB_EXPECT(g_->has_edge(u, v), "bits_on_edge: no such edge");
+  const auto& nu = g_->neighbors(u);
+  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  return edge_bits_[edge_id_[u][static_cast<std::size_t>(it - nu.begin())]];
+}
+
+std::vector<std::int64_t> Network::outputs() const {
+  std::vector<std::int64_t> out;
+  out.reserve(programs_.size());
+  for (const auto& p : programs_) out.push_back(p->output());
+  return out;
+}
+
+std::vector<NodeId> Network::selected_nodes() const {
+  std::vector<NodeId> sel;
+  for (NodeId v = 0; v < programs_.size(); ++v) {
+    if (programs_[v]->output() != 0) sel.push_back(v);
+  }
+  return sel;
+}
+
+}  // namespace congestlb::congest

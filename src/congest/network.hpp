@@ -1,0 +1,157 @@
+// Synchronous CONGEST-model simulator.
+//
+// A Network runs one NodeProgram instance per node of a weighted graph in
+// synchronized rounds. In every round each node reads the messages its
+// neighbors sent in the previous round and may send a (possibly different)
+// message to each neighbor, of at most `bits_per_edge` bits — the O(log n)
+// bandwidth of the CONGEST model, *enforced*: oversending throws. The
+// simulator records per-edge traffic so the reduction driver (Theorem 5) can
+// charge exactly the cut-crossing bits to a communication blackboard.
+//
+// A CONGEST-Broadcast restriction (the model of [11], discussed in the
+// paper's introduction) is available via Config::broadcast_only: a node must
+// send the same message to all neighbors in a round.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::congest {
+
+using graph::NodeId;
+
+/// What a node statically knows about itself and its surroundings — its own
+/// id, weight, the ids of its neighbors, and n (standard KT1-style knowledge
+/// plus n, as assumed by the paper's constructions where nodes know the
+/// fixed topology template).
+struct NodeInfo {
+  NodeId id = 0;
+  std::size_t n = 0;                 ///< number of nodes in the network
+  graph::Weight weight = 1;          ///< this node's weight
+  std::vector<NodeId> neighbors;     ///< sorted neighbor ids
+  std::size_t bits_per_edge = 0;     ///< per-round per-edge bandwidth
+};
+
+/// Messages received this round: slot i corresponds to NodeInfo::neighbors[i].
+using Inbox = std::vector<std::optional<Message>>;
+
+/// Messages to send this round, same slot convention.
+class Outbox {
+ public:
+  explicit Outbox(std::size_t num_neighbors) : slots_(num_neighbors) {}
+
+  /// Queue a message for neighbor slot `i` (at most one per round per edge).
+  void send(std::size_t slot, Message msg);
+
+  /// Queue the same message to every neighbor (broadcast).
+  void send_all(const Message& msg);
+
+  const std::vector<std::optional<Message>>& slots() const { return slots_; }
+
+ private:
+  std::vector<std::optional<Message>> slots_;
+};
+
+/// A per-node distributed program. The simulator calls round() once per
+/// synchronous round until every program reports finished() (or the round
+/// limit is hit). Programs keep their own state across rounds.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+
+  /// One synchronous round: consume last round's inbox, fill this round's
+  /// outbox. `rng` is this node's private randomness (deterministic per
+  /// network seed + node id).
+  virtual void round(const NodeInfo& info, const Inbox& inbox, Outbox& outbox,
+                     Rng& rng) = 0;
+
+  /// True when this node's output is final. A finished node still receives
+  /// rounds (it may need to keep echoing) but the network halts when all
+  /// nodes are finished and no message is in flight.
+  virtual bool finished() const = 0;
+
+  /// The node's output value; meaning is program-specific (e.g. 1 = "I am in
+  /// the independent set").
+  virtual std::int64_t output() const { return 0; }
+};
+
+using ProgramFactory =
+    std::function<std::unique_ptr<NodeProgram>(NodeId, const NodeInfo&)>;
+
+struct NetworkConfig {
+  /// Per-edge per-round bandwidth in bits; 0 means "auto": congest_bandwidth_bits(n).
+  std::size_t bits_per_edge = 0;
+  std::size_t max_rounds = 1'000'000;
+  std::uint64_t seed = 0xC0D1F1EDULL;
+  bool broadcast_only = false;  ///< CONGEST-Broadcast restriction
+  /// Observer invoked for every message at send time (round, from, to, msg).
+  /// Used by sim::ReductionDriver to charge cut-crossing messages to the
+  /// communication blackboard (Theorem 5's simulation).
+  std::function<void(std::size_t, NodeId, NodeId, const Message&)> on_message;
+};
+
+struct RunStats {
+  std::size_t rounds = 0;
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bits_sent = 0;
+  bool all_finished = false;
+};
+
+/// The default CONGEST bandwidth for an n-node network: c * ceil(log2 n)
+/// bits with c = 4 (room for a node id plus a small header in one message;
+/// any constant is fine for O(log n) accounting and benches report B
+/// explicitly).
+std::size_t congest_bandwidth_bits(std::size_t n);
+
+class Network {
+ public:
+  /// The graph must be non-empty. One program per node is created eagerly.
+  Network(const graph::Graph& g, const ProgramFactory& factory,
+          NetworkConfig config = {});
+
+  /// Run until all programs finish and the network is quiet, or until
+  /// max_rounds. Can be called repeatedly to continue a paused run.
+  RunStats run();
+
+  /// Execute exactly `rounds` additional rounds (for lockstep simulation by
+  /// the reduction driver).
+  RunStats run_rounds(std::size_t rounds);
+
+  const NodeProgram& program(NodeId v) const;
+  const NodeInfo& info(NodeId v) const;
+  std::size_t bits_per_edge() const { return bits_per_edge_; }
+  std::size_t rounds_executed() const { return stats_.rounds; }
+  const RunStats& stats() const { return stats_; }
+
+  /// Total bits sent over edge {u,v} in both directions so far.
+  std::uint64_t bits_on_edge(NodeId u, NodeId v) const;
+
+  /// Outputs of all programs, indexed by node.
+  std::vector<std::int64_t> outputs() const;
+
+  /// All node ids whose program output() is nonzero (e.g. an IS indicator).
+  std::vector<NodeId> selected_nodes() const;
+
+ private:
+  bool step();  ///< one round; returns true if any message was delivered/sent
+
+  const graph::Graph* g_;
+  std::size_t bits_per_edge_;
+  NetworkConfig config_;
+  std::vector<NodeInfo> infos_;
+  std::vector<std::unique_ptr<NodeProgram>> programs_;
+  std::vector<Rng> node_rng_;
+  std::vector<Inbox> inflight_;  ///< messages to deliver next round
+  std::vector<std::uint64_t> edge_bits_;  ///< per undirected edge id
+  std::vector<std::vector<std::size_t>> edge_id_;  ///< per node, per slot
+  RunStats stats_;
+};
+
+}  // namespace congestlb::congest

@@ -1,0 +1,32 @@
+#include "congest/transcript.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace congestlb::congest {
+
+std::function<void(std::size_t, graph::NodeId, graph::NodeId, const Message&)>
+TranscriptRecorder::observer() {
+  return [this](std::size_t round, graph::NodeId from, graph::NodeId to,
+                const Message& m) {
+    entries_.push_back(TranscriptEntry{round, from, to, m.bits});
+    total_bits_ += m.bits;
+  };
+}
+
+std::vector<std::size_t> TranscriptRecorder::bits_per_round() const {
+  std::size_t max_round = 0;
+  for (const auto& e : entries_) max_round = std::max(max_round, e.round);
+  std::vector<std::size_t> per_round(entries_.empty() ? 0 : max_round + 1, 0);
+  for (const auto& e : entries_) per_round[e.round] += e.bits;
+  return per_round;
+}
+
+void TranscriptRecorder::write_csv(std::ostream& os) const {
+  os << "round,from,to,bits\n";
+  for (const auto& e : entries_) {
+    os << e.round << ',' << e.from << ',' << e.to << ',' << e.bits << '\n';
+  }
+}
+
+}  // namespace congestlb::congest

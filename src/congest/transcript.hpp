@@ -1,0 +1,48 @@
+// Message transcript recording for the CONGEST simulator.
+//
+// A TranscriptRecorder plugs into NetworkConfig::on_message and keeps the
+// full (round, from, to, bits) log plus per-round aggregates — the raw
+// material for debugging algorithms, for the Theorem-5 accounting plots,
+// and for exporting runs as CSV.
+
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace congestlb::congest {
+
+struct TranscriptEntry {
+  std::size_t round = 0;
+  graph::NodeId from = 0;
+  graph::NodeId to = 0;
+  std::size_t bits = 0;
+};
+
+class TranscriptRecorder {
+ public:
+  /// The observer to install: cfg.on_message = recorder.observer();
+  /// The recorder must outlive the Network.
+  std::function<void(std::size_t, graph::NodeId, graph::NodeId,
+                     const Message&)>
+  observer();
+
+  const std::vector<TranscriptEntry>& entries() const { return entries_; }
+  std::size_t total_bits() const { return total_bits_; }
+  std::size_t num_messages() const { return entries_.size(); }
+
+  /// Bits sent in each round, indexed by round number (0-based rounds as
+  /// reported by the hook; missing rounds are zero).
+  std::vector<std::size_t> bits_per_round() const;
+
+  /// CSV dump: round,from,to,bits.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<TranscriptEntry> entries_;
+  std::size_t total_bits_ = 0;
+};
+
+}  // namespace congestlb::congest

@@ -1,0 +1,96 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "support/expect.hpp"
+
+namespace congestlb::graph {
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  CLB_EXPECT(source < g.num_nodes(), "bfs: source out of range");
+  std::vector<std::size_t> dist(g.num_nodes(), kInfiniteDistance);
+  std::queue<NodeId> q;
+  dist[source] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    NodeId u = q.front();
+    q.pop();
+    for (NodeId v : g.neighbors(u)) {
+      if (dist[v] == kInfiniteDistance) {
+        dist[v] = dist[u] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  auto dist = bfs_distances(g, 0);
+  return std::none_of(dist.begin(), dist.end(), [](std::size_t d) {
+    return d == kInfiniteDistance;
+  });
+}
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+  std::vector<std::size_t> comp(g.num_nodes(), kInfiniteDistance);
+  std::size_t next = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (comp[s] != kInfiniteDistance) continue;
+    std::queue<NodeId> q;
+    comp[s] = next;
+    q.push(s);
+    while (!q.empty()) {
+      NodeId u = q.front();
+      q.pop();
+      for (NodeId v : g.neighbors(u)) {
+        if (comp[v] == kInfiniteDistance) {
+          comp[v] = next;
+          q.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+std::size_t diameter(const Graph& g) {
+  CLB_EXPECT(g.num_nodes() > 0, "diameter: empty graph");
+  std::size_t diam = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    auto dist = bfs_distances(g, s);
+    for (std::size_t d : dist) {
+      CLB_EXPECT(d != kInfiniteDistance, "diameter: graph must be connected");
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+std::vector<std::size_t> greedy_coloring(const Graph& g) {
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return g.degree(a) > g.degree(b) || (g.degree(a) == g.degree(b) && a < b);
+  });
+  std::vector<std::size_t> color(g.num_nodes(), kInfiniteDistance);
+  std::vector<bool> taken;
+  for (NodeId v : order) {
+    taken.assign(g.degree(v) + 1, false);
+    for (NodeId nb : g.neighbors(v)) {
+      if (color[nb] != kInfiniteDistance && color[nb] < taken.size()) {
+        taken[color[nb]] = true;
+      }
+    }
+    std::size_t c = 0;
+    while (taken[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+}  // namespace congestlb::graph

@@ -1,0 +1,37 @@
+// Standard graph generators used by tests, benches and examples: fixed
+// topologies and seeded Erdos-Renyi families (optionally connected and
+// weighted).
+
+#pragma once
+
+#include "graph/graph.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::graph {
+
+/// Path 0-1-...-(n-1).
+Graph path_graph(std::size_t n);
+
+/// Cycle on n >= 3 nodes.
+Graph cycle_graph(std::size_t n);
+
+/// Complete graph K_n.
+Graph complete_graph(std::size_t n);
+
+/// Star: node 0 adjacent to 1..n-1.
+Graph star_graph(std::size_t n);
+
+/// G(n, p) with node weights drawn uniformly from [1, max_weight].
+Graph gnp_random(Rng& rng, std::size_t n, double p, Weight max_weight = 1);
+
+/// G(n, p) plus a path backbone so the result is connected (needed by
+/// gossip-style CONGEST algorithms).
+Graph gnp_random_connected(Rng& rng, std::size_t n, double p,
+                           Weight max_weight = 1);
+
+/// Random bipartite graph: sides [0, n_left) and [n_left, n_left+n_right),
+/// each cross pair an edge with probability p.
+Graph random_bipartite(Rng& rng, std::size_t n_left, std::size_t n_right,
+                       double p);
+
+}  // namespace congestlb::graph

@@ -1,0 +1,186 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace congestlb::graph {
+
+Graph::Graph(std::size_t n, Weight default_weight)
+    : adj_(n), weight_(n, default_weight), label_(n) {}
+
+NodeId Graph::add_node(Weight w, std::string label) {
+  adj_.emplace_back();
+  weight_.push_back(w);
+  label_.push_back(std::move(label));
+  return adj_.size() - 1;
+}
+
+void Graph::check_node(NodeId v) const {
+  CLB_EXPECT(v < adj_.size(), "node id out of range");
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  CLB_EXPECT(u != v, "self-loops are not allowed");
+  auto& nu = adj_[u];
+  auto it = std::lower_bound(nu.begin(), nu.end(), v);
+  if (it != nu.end() && *it == v) return false;
+  nu.insert(it, v);
+  auto& nv = adj_[v];
+  nv.insert(std::lower_bound(nv.begin(), nv.end(), u), u);
+  ++num_edges_;
+  return true;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  if (u == v) return false;
+  const auto& nu = adj_[u];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+void Graph::add_clique(std::span<const NodeId> nodes) {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      add_edge(nodes[i], nodes[j]);
+    }
+  }
+}
+
+void Graph::add_biclique(std::span<const NodeId> a,
+                         std::span<const NodeId> b) {
+  for (NodeId u : a) {
+    for (NodeId v : b) add_edge(u, v);
+  }
+}
+
+const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  check_node(v);
+  return adj_[v];
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t d = 0;
+  for (const auto& nb : adj_) d = std::max(d, nb.size());
+  return d;
+}
+
+Weight Graph::weight(NodeId v) const {
+  check_node(v);
+  return weight_[v];
+}
+
+void Graph::set_weight(NodeId v, Weight w) {
+  check_node(v);
+  weight_[v] = w;
+}
+
+Weight Graph::total_weight() const {
+  Weight sum = 0;
+  for (Weight w : weight_) sum += w;
+  return sum;
+}
+
+Weight Graph::weight_of(std::span<const NodeId> nodes) const {
+  Weight sum = 0;
+  for (NodeId v : nodes) sum += weight(v);
+  return sum;
+}
+
+bool Graph::is_independent_set(std::span<const NodeId> nodes) const {
+  std::vector<NodeId> sorted(nodes.begin(), nodes.end());
+  std::sort(sorted.begin(), sorted.end());
+  CLB_EXPECT(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+             "independent-set check requires distinct node ids");
+  for (NodeId v : sorted) {
+    check_node(v);
+    // Intersect neighbors(v) (sorted) with the sorted candidate set.
+    const auto& nb = adj_[v];
+    auto a = nb.begin();
+    auto b = sorted.begin();
+    while (a != nb.end() && b != sorted.end()) {
+      if (*a < *b) {
+        ++a;
+      } else if (*b < *a) {
+        ++b;
+      } else {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Graph Graph::induced_subgraph(std::span<const NodeId> nodes) const {
+  std::vector<NodeId> order(nodes.begin(), nodes.end());
+  std::vector<NodeId> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  CLB_EXPECT(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+             "induced_subgraph requires distinct node ids");
+
+  Graph sub(order.size());
+  // old id -> new id
+  std::vector<std::size_t> pos(adj_.size(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    check_node(order[i]);
+    pos[order[i]] = i;
+    sub.set_weight(i, weight_[order[i]]);
+    sub.set_label(i, label_[order[i]]);
+  }
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    for (NodeId nb : adj_[order[i]]) {
+      if (pos[nb] != static_cast<std::size_t>(-1) && pos[nb] > i) {
+        sub.add_edge(i, pos[nb]);
+      }
+    }
+  }
+  return sub;
+}
+
+Graph Graph::complement() const {
+  Graph comp(num_nodes());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    comp.set_weight(v, weight_[v]);
+    comp.set_label(v, label_[v]);
+  }
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    const auto& nb = adj_[u];
+    auto it = nb.begin();
+    for (NodeId v = u + 1; v < num_nodes(); ++v) {
+      while (it != nb.end() && *it < v) ++it;
+      const bool adjacent = (it != nb.end() && *it == v);
+      if (!adjacent) comp.add_edge(u, v);
+    }
+  }
+  return comp;
+}
+
+const std::string& Graph::label(NodeId v) const {
+  check_node(v);
+  return label_[v];
+}
+
+void Graph::set_label(NodeId v, std::string label) {
+  check_node(v);
+  label_[v] = std::move(label);
+}
+
+bool Graph::operator==(const Graph& other) const {
+  return adj_ == other.adj_ && weight_ == other.weight_;
+}
+
+std::vector<std::pair<NodeId, NodeId>> edge_list(const Graph& g) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+}  // namespace congestlb::graph

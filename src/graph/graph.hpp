@@ -1,0 +1,92 @@
+// Vertex-weighted undirected simple graphs.
+//
+// This is the substrate every construction in the paper lives on. The gadget
+// graphs of Sections 4 and 5 are weighted (node weights in {1, ell}), so
+// weights are first-class. Adjacency lists are kept sorted, which makes
+// has_edge O(log deg) and lets the independent-set verifier run in
+// O(|I| log n) per member.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace congestlb::graph {
+
+using NodeId = std::size_t;
+using Weight = std::int64_t;
+
+/// An undirected simple graph with integer node weights and optional node
+/// labels. Nodes are identified by dense indices [0, num_nodes()).
+class Graph {
+ public:
+  /// A graph with n isolated nodes, each of weight `default_weight`.
+  explicit Graph(std::size_t n = 0, Weight default_weight = 1);
+
+  std::size_t num_nodes() const { return adj_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Append a new isolated node; returns its id.
+  NodeId add_node(Weight w = 1, std::string label = {});
+
+  /// Add edge {u,v}. Self-loops are rejected. Returns false if the edge was
+  /// already present (the graph stays simple).
+  bool add_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Add all C(|nodes|,2) edges among `nodes` (ids must be distinct).
+  void add_clique(std::span<const NodeId> nodes);
+
+  /// Add all |a|*|b| edges between disjoint sets a and b.
+  void add_biclique(std::span<const NodeId> a, std::span<const NodeId> b);
+
+  /// Neighbors of v, sorted ascending.
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+  std::size_t max_degree() const;
+
+  Weight weight(NodeId v) const;
+  void set_weight(NodeId v, Weight w);
+
+  /// Sum of all node weights.
+  Weight total_weight() const;
+
+  /// Sum of weights of the given nodes (ids must be valid; duplicates count
+  /// twice — callers pass sets).
+  Weight weight_of(std::span<const NodeId> nodes) const;
+
+  /// True iff no two nodes in `nodes` are adjacent. Duplicate ids are
+  /// rejected (a multiset is not a set of vertices).
+  bool is_independent_set(std::span<const NodeId> nodes) const;
+
+  /// Induced subgraph on `nodes` (ids must be distinct). Node i of the result
+  /// corresponds to nodes[i]; weights and labels are carried over.
+  Graph induced_subgraph(std::span<const NodeId> nodes) const;
+
+  /// The complement graph (same nodes/weights, complemented edge set).
+  Graph complement() const;
+
+  const std::string& label(NodeId v) const;
+  void set_label(NodeId v, std::string label);
+
+  /// Structural equality: same node count, weights, and edge sets.
+  /// Labels are ignored (they are presentation-only).
+  bool operator==(const Graph& other) const;
+
+ private:
+  void check_node(NodeId v) const;
+
+  std::vector<std::vector<NodeId>> adj_;
+  std::vector<Weight> weight_;
+  std::vector<std::string> label_;
+  std::size_t num_edges_ = 0;
+};
+
+/// All edges of g as (u,v) pairs with u < v, lexicographically sorted.
+std::vector<std::pair<NodeId, NodeId>> edge_list(const Graph& g);
+
+}  // namespace congestlb::graph

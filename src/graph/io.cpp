@@ -1,0 +1,100 @@
+#include "graph/io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "support/expect.hpp"
+
+namespace congestlb::graph {
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "n " << g.num_nodes() << '\n';
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.weight(v) != 1) os << "w " << v << ' ' << g.weight(v) << '\n';
+  }
+  for (auto [u, v] : edge_list(g)) {
+    os << "e " << u << ' ' << v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  Graph g;
+  bool have_n = false;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    char kind = 0;
+    ss >> kind;
+    auto fail = [&](const char* why) {
+      throw InvariantError("read_edge_list: " + std::string(why) + " at line " +
+                           std::to_string(lineno));
+    };
+    if (kind == 'n') {
+      std::size_t n = 0;
+      if (!(ss >> n)) fail("bad node count");
+      if (have_n) fail("duplicate 'n' line");
+      g = Graph(n);
+      have_n = true;
+    } else if (kind == 'w') {
+      std::size_t v = 0;
+      Weight w = 0;
+      if (!have_n) fail("'w' before 'n'");
+      if (!(ss >> v >> w) || v >= g.num_nodes()) fail("bad weight line");
+      g.set_weight(v, w);
+    } else if (kind == 'e') {
+      std::size_t u = 0, v = 0;
+      if (!have_n) fail("'e' before 'n'");
+      if (!(ss >> u >> v) || u >= g.num_nodes() || v >= g.num_nodes() || u == v) {
+        fail("bad edge line");
+      }
+      g.add_edge(u, v);
+    } else {
+      fail("unknown record kind");
+    }
+  }
+  CLB_EXPECT(have_n, "read_edge_list: missing 'n' line");
+  return g;
+}
+
+void write_dot(std::ostream& os, const Graph& g, const DotOptions& opts) {
+  os << "graph " << opts.graph_name << " {\n";
+  os << "  node [shape=circle];\n";
+
+  // Group nodes by cluster.
+  std::map<std::string, std::vector<NodeId>> groups;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    auto it = opts.cluster.find(v);
+    groups[it == opts.cluster.end() ? std::string{} : it->second].push_back(v);
+  }
+  auto emit_node = [&](NodeId v, const char* indent) {
+    os << indent << 'n' << v << " [label=\"";
+    if (!g.label(v).empty()) {
+      os << g.label(v);
+    } else {
+      os << v;
+    }
+    if (opts.show_weights && g.weight(v) != 1) os << "\\nw=" << g.weight(v);
+    os << "\"];\n";
+  };
+  std::size_t cluster_idx = 0;
+  for (const auto& [name, nodes] : groups) {
+    if (name.empty()) {
+      for (NodeId v : nodes) emit_node(v, "  ");
+    } else {
+      os << "  subgraph cluster_" << cluster_idx++ << " {\n";
+      os << "    label=\"" << name << "\";\n";
+      for (NodeId v : nodes) emit_node(v, "    ");
+      os << "  }\n";
+    }
+  }
+  for (auto [u, v] : edge_list(g)) {
+    os << "  n" << u << " -- n" << v << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace congestlb::graph

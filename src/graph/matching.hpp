@@ -1,0 +1,41 @@
+// Maximum bipartite matching (Hopcroft–Karp).
+//
+// Property 2 of the paper states that for m1 != m2, the bipartite graph
+// between Code^i_{m1} and Code^j_{m2} contains a matching of size >= ell.
+// We verify that claim mechanically by computing maximum matchings.
+
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestlb::graph {
+
+/// Result of a maximum-matching computation.
+struct Matching {
+  /// Matched pairs (left-node, right-node) in original graph ids.
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+
+  std::size_t size() const { return pairs.size(); }
+};
+
+/// Maximum matching in the bipartite graph induced by the edges of `g`
+/// between the disjoint node sets `left` and `right` (edges inside either
+/// side are ignored). O(E * sqrt(V)) via Hopcroft–Karp.
+Matching max_bipartite_matching(const Graph& g, std::span<const NodeId> left,
+                                std::span<const NodeId> right);
+
+/// Maximum matching in an explicit bipartite graph with `n_left` left nodes,
+/// `n_right` right nodes and the given (left,right) edges.
+Matching max_bipartite_matching(std::size_t n_left, std::size_t n_right,
+                                std::span<const std::pair<std::size_t, std::size_t>> edges);
+
+/// Greedy maximal matching between two node sets (baseline / sanity check:
+/// a maximal matching has size >= maximum/2).
+Matching greedy_matching(const Graph& g, std::span<const NodeId> left,
+                         std::span<const NodeId> right);
+
+}  // namespace congestlb::graph

@@ -1,0 +1,52 @@
+// The base graph H of Section 4.1 (Figure 1).
+//
+// H consists of a clique A = {v_1, ..., v_k} and ell+alpha "code gadget"
+// cliques C_1, ..., C_{ell+alpha}, each holding one node per alphabet
+// symbol. Node sigma_(h,r) in C_h represents "position h carries symbol r".
+// The codeword C(m) of index m selects one node per clique — the set
+// Code_m — and v_m is connected to every code node *outside* Code_m, so
+// {v_m} + Code_m is independent while {v_m} + any other codeword's nodes
+// collides in >= ell positions (the code distance).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "lowerbound/params.hpp"
+
+namespace congestlb::lb {
+
+using graph::NodeId;
+
+class BaseGadget {
+ public:
+  explicit BaseGadget(GadgetParams params);
+
+  const GadgetParams& params() const { return params_; }
+  const graph::Graph& graph() const { return g_; }
+
+  /// v_m, m in [0, k).
+  NodeId a_node(std::size_t m) const;
+  /// sigma_(h,r): position h in [0, ell+alpha), symbol r in [0, p).
+  NodeId code_node(std::size_t h, std::size_t r) const;
+
+  /// The clique A as node ids.
+  std::vector<NodeId> a_nodes() const;
+  /// The clique C_h as node ids.
+  std::vector<NodeId> clique_nodes(std::size_t h) const;
+  /// All code-gadget nodes (union of the C_h).
+  std::vector<NodeId> code_nodes() const;
+  /// Code_m: the nodes spelling out the codeword C(m), one per position.
+  std::vector<NodeId> codeword_nodes(std::size_t m) const;
+
+  /// The cached codeword symbols of message m.
+  const codes::Word& codeword(std::size_t m) const;
+
+ private:
+  GadgetParams params_;
+  std::vector<codes::Word> codewords_;  ///< per message m
+  graph::Graph g_;
+};
+
+}  // namespace congestlb::lb

@@ -1,0 +1,122 @@
+#include "lowerbound/framework.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/lower_bound.hpp"
+#include "lowerbound/linear_family.hpp"
+#include "lowerbound/quadratic_family.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::lb {
+
+LocalityDiff verify_partition_locality(const graph::Graph& a,
+                                       const graph::Graph& b,
+                                       graph::NodeId lo, graph::NodeId hi) {
+  CLB_EXPECT(a.num_nodes() == b.num_nodes(),
+             "locality diff: node count mismatch");
+  CLB_EXPECT(lo <= hi && hi <= a.num_nodes(), "locality diff: bad range");
+  LocalityDiff d;
+  auto inside = [&](graph::NodeId v) { return v >= lo && v < hi; };
+  for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
+    if (a.weight(v) != b.weight(v)) {
+      (inside(v) ? d.weight_diffs_inside : d.weight_diffs_outside)++;
+    }
+  }
+  // Symmetric difference of edge sets (both lists are sorted).
+  const auto ea = graph::edge_list(a);
+  const auto eb = graph::edge_list(b);
+  std::size_t i = 0, j = 0;
+  auto classify = [&](std::pair<graph::NodeId, graph::NodeId> e) {
+    (inside(e.first) && inside(e.second) ? d.edge_diffs_inside
+                                         : d.edge_diffs_outside)++;
+  };
+  while (i < ea.size() || j < eb.size()) {
+    if (j == eb.size() || (i < ea.size() && ea[i] < eb[j])) {
+      classify(ea[i++]);
+    } else if (i == ea.size() || eb[j] < ea[i]) {
+      classify(eb[j++]);
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  d.ok = d.weight_diffs_outside == 0 && d.edge_diffs_outside == 0;
+  return d;
+}
+
+RoundBound reduction_round_bound(std::size_t k_strings, std::size_t t,
+                                 std::size_t cut_edges, std::size_t n,
+                                 std::size_t bits_per_edge) {
+  CLB_EXPECT(cut_edges > 0, "round bound: empty cut gives no bound");
+  RoundBound rb;
+  rb.cc_bits = comm::cks_lower_bound_bits(k_strings, t);
+  rb.cut_edges = cut_edges;
+  rb.bits_per_edge =
+      bits_per_edge != 0
+          ? bits_per_edge
+          : static_cast<std::size_t>(
+                std::max(1, ceil_log2(std::max<std::size_t>(2, n))));
+  rb.rounds = rb.cc_bits / (static_cast<double>(rb.cut_edges) *
+                            static_cast<double>(rb.bits_per_edge));
+  return rb;
+}
+
+RoundBound theorem1_bound(std::size_t n, double eps) {
+  CLB_EXPECT(n >= 16, "theorem1_bound: n too small to instantiate");
+  const std::size_t t = linear_players_for_epsilon(eps);
+  // n = t * (k + (ell+alpha) * p) with the paper-regime (ell, alpha); solve
+  // for k approximately: the code gadget contributes Theta(log^2 k) nodes
+  // per copy, negligible next to k, so k ~= n / t.
+  const std::size_t k = std::max<std::size_t>(2, n / t);
+  GadgetParams params = GadgetParams::from_k(k);
+  const std::size_t p = params.clique_size();
+  const std::size_t cut =
+      t * (t - 1) / 2 * params.num_positions() * p * (p - 1);
+  return reduction_round_bound(k, t, cut, n);
+}
+
+RoundBound theorem2_bound(std::size_t n, double eps) {
+  CLB_EXPECT(n >= 16, "theorem2_bound: n too small to instantiate");
+  const std::size_t t = quadratic_players_for_epsilon(eps);
+  // n = 2t * (k + (ell+alpha) * p) -> k ~= n / (2t); strings have length k^2.
+  const std::size_t k = std::max<std::size_t>(2, n / (2 * t));
+  GadgetParams params = GadgetParams::from_k(k);
+  const std::size_t p = params.clique_size();
+  const std::size_t cut =
+      2 * (t * (t - 1) / 2) * params.num_positions() * p * (p - 1);
+  return reduction_round_bound(k * k, t, cut, n);
+}
+
+SplitApproximation split_solver_approximation(
+    const graph::Graph& g, std::span<const std::vector<graph::NodeId>> parts) {
+  CLB_EXPECT(!parts.empty(), "split solver: need at least one part");
+  SplitApproximation result;
+  graph::Weight best = -1;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const graph::Graph sub = g.induced_subgraph(parts[i]);
+    const maxis::IsSolution local = maxis::solve_exact(sub);
+    if (local.weight > best) {
+      best = local.weight;
+      // Map back to original ids; still independent in g because the part's
+      // induced subgraph contains all edges among its nodes.
+      std::vector<graph::NodeId> original;
+      original.reserve(local.nodes.size());
+      for (graph::NodeId v : local.nodes) original.push_back(parts[i][v]);
+      result.best_part_solution = maxis::checked(g, std::move(original));
+      result.winning_part = i;
+    }
+  }
+  // Each player announces its part's optimum: ceil(log2(total weight + 1))
+  // bits each, the O(log n) exchange from the limitation argument.
+  const auto total_w = static_cast<std::uint64_t>(g.total_weight());
+  result.communication_bits =
+      parts.size() * static_cast<std::size_t>(
+                         std::max(1, ceil_log2(std::max<std::uint64_t>(
+                                       2, total_w + 1))));
+  return result;
+}
+
+}  // namespace congestlb::lb

@@ -1,0 +1,83 @@
+// The reduction framework of Section 3: Definition 4 checks, the Theorem 5
+// round-bound arithmetic, Corollary 1, the Theorem 1/2 closed forms, and
+// the two-party-limitation split solver from the introduction.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "maxis/verify.hpp"
+
+namespace congestlb::lb {
+
+// ---------------------------------------------------------------------------
+// Definition 4, condition 1 (partition locality): given two instantiated
+// graphs that differ only in player i's input, every difference must lie
+// inside V^i — weights on V^i nodes, edges within V^i x V^i.
+// ---------------------------------------------------------------------------
+
+struct LocalityDiff {
+  bool ok = true;
+  std::size_t weight_diffs_inside = 0;
+  std::size_t weight_diffs_outside = 0;
+  std::size_t edge_diffs_inside = 0;
+  std::size_t edge_diffs_outside = 0;
+};
+
+/// Diff `a` vs `b` (same node count required) and classify every difference
+/// as inside/outside the node range [lo, hi) of player i's part V^i.
+/// ok iff nothing differs outside.
+LocalityDiff verify_partition_locality(const graph::Graph& a,
+                                       const graph::Graph& b,
+                                       graph::NodeId lo, graph::NodeId hi);
+
+// ---------------------------------------------------------------------------
+// Theorem 5 / Corollary 1 arithmetic.
+// ---------------------------------------------------------------------------
+
+struct RoundBound {
+  double cc_bits = 0;          ///< CC_f(k, t) lower bound (Theorem 3)
+  std::size_t cut_edges = 0;   ///< |cut(G_xbar)|
+  std::size_t bits_per_edge = 0;  ///< O(log |V|) per round per edge
+  /// Rounds >= cc_bits / (cut_edges * bits_per_edge)  (Theorem 5).
+  double rounds = 0;
+};
+
+/// Corollary 1: rounds = CC(k_strings, t) / (cut * log2 n). `k_strings` is
+/// the player string length (k for the linear family, k^2 for the
+/// quadratic). bits_per_edge defaults to ceil(log2 n) when 0.
+RoundBound reduction_round_bound(std::size_t k_strings, std::size_t t,
+                                 std::size_t cut_edges, std::size_t n,
+                                 std::size_t bits_per_edge = 0);
+
+/// Theorem 1 closed form: the round lower bound for (1/2+eps)-approximate
+/// MaxIS on n nodes — Omega(n / log^3 n) with the constants of our
+/// construction (t = ceil(2/eps), k = Theta(n), cut = Theta(t^2 log^2 k)).
+RoundBound theorem1_bound(std::size_t n, double eps);
+
+/// Theorem 2 closed form: Omega(n^2 / log^3 n) for (3/4+eps)-approximation.
+RoundBound theorem2_bound(std::size_t n, double eps);
+
+// ---------------------------------------------------------------------------
+// The two-party (and t-party) framework limitation (Section 1): splitting
+// the node set among t players and taking the best per-part exact solution
+// is a 1/t-approximation obtained with O(t log n) communication — so no
+// t-party reduction can rule out 1/t-approximations.
+// ---------------------------------------------------------------------------
+
+struct SplitApproximation {
+  maxis::IsSolution best_part_solution;  ///< an IS of the *whole* graph
+  std::size_t winning_part = 0;
+  /// Communication a t-party protocol would spend announcing part values.
+  std::size_t communication_bits = 0;
+};
+
+/// Solve MaxIS exactly (branch and bound) inside each part's induced
+/// subgraph, return the heaviest. Guarantees weight >= OPT / parts.size().
+SplitApproximation split_solver_approximation(
+    const graph::Graph& g, std::span<const std::vector<graph::NodeId>> parts);
+
+}  // namespace congestlb::lb

@@ -1,0 +1,174 @@
+#include "lowerbound/linear_family.hpp"
+
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace congestlb::lb {
+
+LinearConstruction::LinearConstruction(GadgetParams params, std::size_t t)
+    : params_(std::move(params)), t_(t), base_(params_), g_(0) {
+  CLB_EXPECT(t_ >= 2, "linear construction: t >= 2");
+  const std::size_t npc = params_.nodes_per_copy();
+  g_ = graph::Graph(t_ * npc);
+
+  // t copies of the base gadget H.
+  const auto base_edges = graph::edge_list(base_.graph());
+  for (std::size_t i = 0; i < t_; ++i) {
+    const NodeId offset = i * npc;
+    for (auto [u, v] : base_edges) {
+      g_.add_edge(offset + u, offset + v);
+    }
+    for (NodeId local = 0; local < npc; ++local) {
+      g_.set_label(offset + local,
+                   base_.graph().label(local) + "^" + std::to_string(i + 1));
+    }
+  }
+
+  // Inter-copy connections (Figure 2): for each position h and each pair of
+  // copies i < j, all edges between C^i_h and C^j_h except the natural
+  // perfect matching {sigma^i_(h,r), sigma^j_(h,r)}.
+  const std::size_t p = params_.clique_size();
+  for (std::size_t i = 0; i < t_; ++i) {
+    for (std::size_t j = i + 1; j < t_; ++j) {
+      for (std::size_t h = 0; h < params_.num_positions(); ++h) {
+        for (std::size_t r1 = 0; r1 < p; ++r1) {
+          for (std::size_t r2 = 0; r2 < p; ++r2) {
+            if (r1 == r2) continue;
+            g_.add_edge(code_node(i, h, r1), code_node(j, h, r2));
+          }
+        }
+      }
+    }
+  }
+}
+
+graph::Graph LinearConstruction::instantiate(
+    const comm::PromiseInstance& inst) const {
+  comm::validate(inst);
+  CLB_EXPECT(inst.k == params_.k, "instantiate: instance k mismatch");
+  CLB_EXPECT(inst.t == t_, "instantiate: instance t mismatch");
+  return instantiate_raw(inst.strings);
+}
+
+graph::Graph LinearConstruction::instantiate_raw(
+    const std::vector<std::vector<std::uint8_t>>& strings) const {
+  CLB_EXPECT(strings.size() == t_, "instantiate_raw: wrong player count");
+  graph::Graph gx = g_;
+  for (std::size_t i = 0; i < t_; ++i) {
+    CLB_EXPECT(strings[i].size() == params_.k,
+               "instantiate_raw: wrong string length");
+    for (std::size_t m = 0; m < params_.k; ++m) {
+      CLB_EXPECT(strings[i][m] <= 1, "instantiate_raw: non-binary entry");
+      if (strings[i][m]) {
+        gx.set_weight(a_node(i, m), static_cast<graph::Weight>(params_.ell));
+      }
+    }
+  }
+  return gx;
+}
+
+NodeId LinearConstruction::a_node(std::size_t i, std::size_t m) const {
+  CLB_EXPECT(i < t_, "linear construction: player index out of range");
+  return i * params_.nodes_per_copy() + base_.a_node(m);
+}
+
+NodeId LinearConstruction::code_node(std::size_t i, std::size_t h,
+                                     std::size_t r) const {
+  CLB_EXPECT(i < t_, "linear construction: player index out of range");
+  return i * params_.nodes_per_copy() + base_.code_node(h, r);
+}
+
+std::vector<NodeId> LinearConstruction::codeword_nodes(std::size_t i,
+                                                       std::size_t m) const {
+  CLB_EXPECT(i < t_, "linear construction: player index out of range");
+  std::vector<NodeId> out = base_.codeword_nodes(m);
+  for (NodeId& v : out) v += i * params_.nodes_per_copy();
+  return out;
+}
+
+std::vector<NodeId> LinearConstruction::clique_nodes(std::size_t i,
+                                                     std::size_t h) const {
+  CLB_EXPECT(i < t_, "linear construction: player index out of range");
+  std::vector<NodeId> out = base_.clique_nodes(h);
+  for (NodeId& v : out) v += i * params_.nodes_per_copy();
+  return out;
+}
+
+std::pair<NodeId, NodeId> LinearConstruction::partition_range(
+    std::size_t i) const {
+  CLB_EXPECT(i < t_, "linear construction: player index out of range");
+  const std::size_t npc = params_.nodes_per_copy();
+  return {i * npc, (i + 1) * npc};
+}
+
+std::vector<NodeId> LinearConstruction::partition(std::size_t i) const {
+  auto [lo, hi] = partition_range(i);
+  std::vector<NodeId> out;
+  out.reserve(hi - lo);
+  for (NodeId v = lo; v < hi; ++v) out.push_back(v);
+  return out;
+}
+
+std::size_t LinearConstruction::owner(NodeId v) const {
+  CLB_EXPECT(v < num_nodes(), "linear construction: node out of range");
+  return v / params_.nodes_per_copy();
+}
+
+std::vector<std::pair<NodeId, NodeId>> LinearConstruction::cut_edges() const {
+  std::vector<std::pair<NodeId, NodeId>> cut;
+  for (auto [u, v] : graph::edge_list(g_)) {
+    if (owner(u) != owner(v)) cut.emplace_back(u, v);
+  }
+  return cut;
+}
+
+std::size_t LinearConstruction::cut_size() const {
+  const std::size_t p = params_.clique_size();
+  return t_ * (t_ - 1) / 2 * params_.num_positions() * p * (p - 1);
+}
+
+std::vector<NodeId> LinearConstruction::yes_witness(std::size_t m) const {
+  std::vector<NodeId> out;
+  out.reserve(t_ * (1 + params_.num_positions()));
+  for (std::size_t i = 0; i < t_; ++i) {
+    out.push_back(a_node(i, m));
+    const auto cw = codeword_nodes(i, m);
+    out.insert(out.end(), cw.begin(), cw.end());
+  }
+  return out;
+}
+
+graph::Weight LinearConstruction::yes_weight() const {
+  return static_cast<graph::Weight>(t_ * (2 * params_.ell + params_.alpha));
+}
+
+graph::Weight LinearConstruction::no_bound() const {
+  const auto ell = static_cast<graph::Weight>(params_.ell);
+  const auto alpha = static_cast<graph::Weight>(params_.alpha);
+  const auto t = static_cast<graph::Weight>(t_);
+  if (t_ == 2) return 3 * ell + 2 * alpha + 1;  // Claim 2
+  return (t + 1) * ell + alpha * t * t;         // Claim 5
+}
+
+double LinearConstruction::hardness_ratio() const {
+  return static_cast<double>(no_bound()) / static_cast<double>(yes_weight());
+}
+
+double linear_hardness_ratio_formula(std::size_t ell, std::size_t alpha,
+                                     std::size_t t) {
+  CLB_EXPECT(t >= 2, "hardness ratio: t >= 2");
+  const double no =
+      t == 2 ? 3.0 * ell + 2.0 * alpha + 1.0
+             : (t + 1.0) * ell + 1.0 * alpha * t * t;
+  const double yes = t * (2.0 * ell + alpha);
+  return no / yes;
+}
+
+std::size_t linear_players_for_epsilon(double eps) {
+  CLB_EXPECT(eps > 0.0 && eps < 0.5,
+             "Theorem 1 applies for 0 < eps < 1/2");
+  return static_cast<std::size_t>(std::ceil(2.0 / eps));
+}
+
+}  // namespace congestlb::lb

@@ -1,0 +1,78 @@
+#include "lowerbound/params.hpp"
+
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::lb {
+
+namespace {
+
+void check_common(const GadgetParams& p) {
+  CLB_EXPECT(p.ell >= 1 && p.alpha >= 1, "gadget params: ell, alpha >= 1");
+  CLB_EXPECT(p.code != nullptr, "gadget params: missing code");
+  CLB_EXPECT(p.code->message_length() == p.alpha,
+             "gadget params: code message length must equal alpha");
+  CLB_EXPECT(p.code->codeword_length() == p.ell + p.alpha,
+             "gadget params: code codeword length must equal ell+alpha");
+  CLB_EXPECT(p.k >= 2, "gadget params: k >= 2");
+  CLB_EXPECT(p.k <= p.code->num_messages(),
+             "gadget params: k exceeds code capacity");
+}
+
+}  // namespace
+
+GadgetParams GadgetParams::from_l_alpha(std::size_t ell, std::size_t alpha,
+                                        std::optional<std::size_t> k) {
+  CLB_EXPECT(ell >= 1 && alpha >= 1, "gadget params: ell, alpha >= 1");
+  GadgetParams p;
+  p.ell = ell;
+  p.alpha = alpha;
+  codes::GadgetCode gc = codes::make_gadget_code(ell, alpha);
+  p.code = gc.code;
+  if (k.has_value()) {
+    p.k = *k;
+  } else {
+    const auto paper_k = checked_pow(ell + alpha, alpha);
+    CLB_EXPECT(paper_k.has_value(),
+               "gadget params: (ell+alpha)^alpha overflows");
+    p.k = static_cast<std::size_t>(
+        std::min<std::uint64_t>(*paper_k, gc.max_messages));
+  }
+  check_common(p);
+  return p;
+}
+
+GadgetParams GadgetParams::from_k(std::size_t k) {
+  CLB_EXPECT(k >= 2, "gadget params: k >= 2");
+  PaperParams pp = paper_ell_alpha(k);
+  std::size_t ell = pp.ell;
+  const std::size_t alpha = pp.alpha;
+  // Grow ell until the realized code has capacity for k messages.
+  for (;;) {
+    codes::GadgetCode gc = codes::make_gadget_code(ell, alpha);
+    if (gc.max_messages >= k) break;
+    ++ell;
+  }
+  return from_l_alpha(ell, alpha, k);
+}
+
+GadgetParams GadgetParams::for_linear_separation(std::size_t t,
+                                                 std::size_t margin,
+                                                 std::optional<std::size_t> k) {
+  CLB_EXPECT(t >= 2, "separation params: t >= 2");
+  return from_l_alpha(/*ell=*/t + margin, /*alpha=*/1, k);
+}
+
+GadgetParams GadgetParams::with_code(
+    std::size_t ell, std::size_t alpha, std::size_t k,
+    std::shared_ptr<const codes::CodeMapping> code) {
+  GadgetParams p;
+  p.ell = ell;
+  p.alpha = alpha;
+  p.k = k;
+  p.code = std::move(code);
+  check_common(p);
+  return p;
+}
+
+}  // namespace congestlb::lb

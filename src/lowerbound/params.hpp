@@ -1,0 +1,75 @@
+// Gadget parameters (k, ell, alpha) and the code wiring (Section 4.1).
+//
+// The constructions fix three integers k, alpha, ell with (ell+alpha)^alpha
+// >= k and ell >> alpha, and a code-mapping with parameters
+// (alpha, ell+alpha, ell, Sigma) from Theorem 4. The paper's asymptotic
+// choice (Section 4.2.1) is ell = log k - log k / log log k and
+// alpha = log k / log log k.
+//
+// Concretely we realize Sigma as GF(p) for p = next_prime(ell + alpha)
+// (codes/params.hpp): each code-gadget clique C_h then has p >= ell+alpha
+// nodes. All claim arithmetic counts the ell+alpha *cliques*, never the
+// clique size, so the bounds are unchanged; only n grows by a factor < 2.
+//
+// with_code() lets callers substitute a different code-mapping of the same
+// shape — used by the ablation benches to demonstrate that a weak code
+// (distance < ell) breaks Property 2 and with it the NO-side bound.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "codes/code_mapping.hpp"
+#include "codes/params.hpp"
+
+namespace congestlb::lb {
+
+struct GadgetParams {
+  std::size_t k = 0;      ///< universe size of the disjointness instance
+  std::size_t ell = 0;    ///< code distance parameter (node weight "l")
+  std::size_t alpha = 0;  ///< message length of the code
+  /// The code-mapping: message_length alpha, codeword_length ell+alpha.
+  std::shared_ptr<const codes::CodeMapping> code;
+
+  /// Explicit (ell, alpha) with the default Reed-Solomon code; k defaults
+  /// to (ell+alpha)^alpha, the paper's choice, capped by the code capacity.
+  static GadgetParams from_l_alpha(std::size_t ell, std::size_t alpha,
+                                   std::optional<std::size_t> k = std::nullopt);
+
+  /// The paper-regime parameters for universe size k: ell and alpha from
+  /// the Section 4.2.1 formulas, with ell grown as needed until the code
+  /// capacity covers k (rounding at small k can otherwise undershoot).
+  static GadgetParams from_k(std::size_t k);
+
+  /// Parameters guaranteeing a strict YES/NO gap for the *linear* family
+  /// with t players: Claims 3 and 5 separate iff ell > alpha * t; this picks
+  /// alpha = 1, ell = alpha*t + margin.
+  static GadgetParams for_linear_separation(std::size_t t,
+                                            std::size_t margin = 2,
+                                            std::optional<std::size_t> k = std::nullopt);
+
+  /// Substitute an arbitrary code-mapping (ablation). The code must have
+  /// message_length == alpha and codeword_length == ell + alpha; its
+  /// declared min_distance need NOT reach ell — that is the point.
+  static GadgetParams with_code(std::size_t ell, std::size_t alpha,
+                                std::size_t k,
+                                std::shared_ptr<const codes::CodeMapping> code);
+
+  /// Number of code positions M = ell + alpha (count of code cliques C_h).
+  std::size_t num_positions() const { return ell + alpha; }
+
+  /// Nodes per code clique (the realized alphabet size; p >= ell+alpha for
+  /// the default Reed-Solomon wiring).
+  std::size_t clique_size() const {
+    return static_cast<std::size_t>(code->alphabet_size());
+  }
+
+  /// Nodes in one copy of the base gadget H: |A| + (ell+alpha) cliques.
+  std::size_t nodes_per_copy() const {
+    return k + num_positions() * clique_size();
+  }
+};
+
+}  // namespace congestlb::lb

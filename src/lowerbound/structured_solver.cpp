@@ -1,0 +1,317 @@
+#include "lowerbound/structured_solver.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace congestlb::lb {
+
+namespace {
+
+constexpr int kNone = -1;
+
+/// Incremental state for one code block: per-position symbol counts of the
+/// constrained copies, the per-position max count, and the number of
+/// unconstrained ("free") copies — enough to evaluate
+///   sum_h (free + max_r cnt[h][r])
+/// in O(1) amortized via a running total.
+class BlockState {
+ public:
+  BlockState(std::size_t positions, std::size_t symbols)
+      : positions_(positions),
+        symbols_(symbols),
+        cnt_(positions * symbols, 0),
+        curmax_(positions, 0) {}
+
+  void add_free() { ++free_; }
+  void remove_free() { --free_; }
+
+  /// Register a constrained copy with codeword `w`; returns the positions'
+  /// previous maxima so the caller can undo.
+  void add_codeword(const codes::Word& w, std::vector<std::size_t>& saved) {
+    saved.resize(positions_);
+    for (std::size_t h = 0; h < positions_; ++h) {
+      saved[h] = curmax_[h];
+      const std::size_t c = ++cnt_[h * symbols_ + w[h]];
+      if (c > curmax_[h]) {
+        code_sum_ += c - curmax_[h];
+        curmax_[h] = c;
+      }
+    }
+  }
+
+  void remove_codeword(const codes::Word& w,
+                       const std::vector<std::size_t>& saved) {
+    for (std::size_t h = 0; h < positions_; ++h) {
+      --cnt_[h * symbols_ + w[h]];
+      code_sum_ -= curmax_[h] - saved[h];
+      curmax_[h] = saved[h];
+    }
+  }
+
+  /// sum_h (free + max_r cnt[h][r]) for the current assignment.
+  std::size_t value(std::size_t /*t*/) const {
+    return code_sum_ + free_ * positions_;
+  }
+
+  /// For witness reconstruction: the symbol achieving the max at h.
+  std::size_t best_symbol(std::size_t h) const {
+    std::size_t best_r = 0, best_c = 0;
+    for (std::size_t r = 0; r < symbols_; ++r) {
+      if (cnt_[h * symbols_ + r] > best_c) {
+        best_c = cnt_[h * symbols_ + r];
+        best_r = r;
+      }
+    }
+    return best_r;
+  }
+
+  std::size_t count_at(std::size_t h, std::size_t r) const {
+    return cnt_[h * symbols_ + r];
+  }
+
+ private:
+  std::size_t positions_;
+  std::size_t symbols_;
+  std::vector<std::size_t> cnt_;
+  std::vector<std::size_t> curmax_;
+  std::size_t code_sum_ = 0;  ///< sum_h curmax_[h]
+  std::size_t free_ = 0;
+};
+
+std::uint64_t pow_guard(std::uint64_t base, std::size_t exp,
+                        std::uint64_t limit) {
+  std::uint64_t v = 1;
+  for (std::size_t i = 0; i < exp; ++i) {
+    CLB_EXPECT(v <= limit / base,
+               "structured solver: tuple budget exceeded — reduce k or t, or "
+               "raise max_tuples");
+    v *= base;
+  }
+  return v;
+}
+
+}  // namespace
+
+maxis::IsSolution solve_linear_structured(const LinearConstruction& c,
+                                          const comm::PromiseInstance& inst,
+                                          std::uint64_t max_tuples) {
+  comm::validate(inst);
+  const auto& p = c.params();
+  CLB_EXPECT(inst.k == p.k && inst.t == c.num_players(),
+             "structured solver: instance shape mismatch");
+  const std::size_t t = c.num_players();
+  const std::size_t m_pos = p.num_positions();
+  const std::size_t symbols = p.clique_size();
+  pow_guard(p.k + 1, t, max_tuples);
+
+  // Codewords and per-copy clique-node weights.
+  std::vector<codes::Word> cw(p.k);
+  const BaseGadget base(p);
+  for (std::size_t m = 0; m < p.k; ++m) cw[m] = base.codeword(m);
+  auto weight_of = [&](std::size_t i, std::size_t m) -> graph::Weight {
+    return inst.strings[i][m] ? static_cast<graph::Weight>(p.ell) : 1;
+  };
+
+  BlockState block(m_pos, symbols);
+  std::vector<int> assign(t, kNone), best_assign(t, kNone);
+  graph::Weight best = -1;
+  std::vector<std::vector<std::size_t>> saved(t);
+
+  // Depth-first over per-copy choices with an optimistic-completion prune:
+  // a remaining copy contributes at most ell (clique node) + m_pos (one
+  // code node per position).
+  const graph::Weight per_copy_cap =
+      static_cast<graph::Weight>(p.ell + m_pos);
+  auto recurse = [&](auto&& self, std::size_t i,
+                     graph::Weight clique_weight) -> void {
+    const auto code_now = static_cast<graph::Weight>(block.value(t));
+    if (i == t) {
+      const graph::Weight total = clique_weight + code_now;
+      if (total > best) {
+        best = total;
+        best_assign = assign;
+      }
+      return;
+    }
+    const graph::Weight optimistic =
+        clique_weight + code_now +
+        static_cast<graph::Weight>(t - i) * per_copy_cap;
+    if (optimistic <= best) return;
+
+    // Option: copy i takes no clique node.
+    assign[i] = kNone;
+    block.add_free();
+    self(self, i + 1, clique_weight);
+    block.remove_free();
+
+    // Option: copy i takes v^i_m.
+    for (std::size_t m = 0; m < p.k; ++m) {
+      assign[i] = static_cast<int>(m);
+      block.add_codeword(cw[m], saved[i]);
+      self(self, i + 1, clique_weight + weight_of(i, m));
+      block.remove_codeword(cw[m], saved[i]);
+    }
+    assign[i] = kNone;
+  };
+  recurse(recurse, 0, 0);
+
+  // Reconstruct the witness: replay the best assignment, then per position
+  // take the majority symbol among constrained copies; free copies always
+  // join it.
+  for (std::size_t i = 0; i < t; ++i) {
+    if (best_assign[i] != kNone) {
+      block.add_codeword(cw[static_cast<std::size_t>(best_assign[i])],
+                         saved[i]);
+    }
+  }
+  std::vector<graph::NodeId> witness;
+  for (std::size_t i = 0; i < t; ++i) {
+    if (best_assign[i] != kNone) {
+      witness.push_back(c.a_node(i, static_cast<std::size_t>(best_assign[i])));
+    }
+  }
+  for (std::size_t h = 0; h < m_pos; ++h) {
+    const std::size_t r = block.best_symbol(h);
+    for (std::size_t i = 0; i < t; ++i) {
+      if (best_assign[i] == kNone) {
+        witness.push_back(c.code_node(i, h, r));
+      } else if (cw[static_cast<std::size_t>(best_assign[i])][h] == r) {
+        witness.push_back(c.code_node(i, h, r));
+      }
+    }
+  }
+  const graph::Graph gx = c.instantiate(inst);
+  maxis::IsSolution sol = maxis::checked(gx, std::move(witness));
+  CLB_EXPECT(sol.weight == best,
+             "structured solver: witness weight disagrees with search value");
+  return sol;
+}
+
+maxis::IsSolution solve_quadratic_structured(const QuadraticConstruction& c,
+                                             const comm::PromiseInstance& inst,
+                                             std::uint64_t max_tuples) {
+  comm::validate(inst);
+  const auto& p = c.params();
+  CLB_EXPECT(inst.k == c.string_length() && inst.t == c.num_players(),
+             "structured solver: instance shape mismatch");
+  const std::size_t t = c.num_players();
+  const std::size_t m_pos = p.num_positions();
+  const std::size_t symbols = p.clique_size();
+  pow_guard((p.k + 1) * (p.k + 1), t, max_tuples);
+
+  std::vector<codes::Word> cw(p.k);
+  const BaseGadget base(p);
+  for (std::size_t m = 0; m < p.k; ++m) cw[m] = base.codeword(m);
+
+  // Legal per-copy choices: (m1 or none, m2 or none); both chosen requires
+  // the input bit x^i_(m1,m2) = 1 (otherwise the input edge forbids it).
+  auto pair_allowed = [&](std::size_t i, int m1, int m2) {
+    if (m1 == kNone || m2 == kNone) return true;
+    return inst.strings[i][c.pair_index(static_cast<std::size_t>(m1),
+                                        static_cast<std::size_t>(m2))] != 0;
+  };
+
+  BlockState block1(m_pos, symbols), block2(m_pos, symbols);
+  std::vector<std::pair<int, int>> assign(t, {kNone, kNone});
+  std::vector<std::pair<int, int>> best_assign = assign;
+  graph::Weight best = -1;
+  std::vector<std::vector<std::size_t>> saved1(t), saved2(t);
+
+  const graph::Weight per_copy_cap =
+      static_cast<graph::Weight>(2 * p.ell + 2 * m_pos);
+  auto recurse = [&](auto&& self, std::size_t i,
+                     graph::Weight clique_weight) -> void {
+    const auto code_now =
+        static_cast<graph::Weight>(block1.value(t) + block2.value(t));
+    if (i == t) {
+      const graph::Weight total = clique_weight + code_now;
+      if (total > best) {
+        best = total;
+        best_assign = assign;
+      }
+      return;
+    }
+    const graph::Weight optimistic =
+        clique_weight + code_now +
+        static_cast<graph::Weight>(t - i) * per_copy_cap;
+    if (optimistic <= best) return;
+
+    for (int m1 = kNone; m1 < static_cast<int>(p.k); ++m1) {
+      if (m1 == kNone) {
+        block1.add_free();
+      } else {
+        block1.add_codeword(cw[static_cast<std::size_t>(m1)], saved1[i]);
+      }
+      for (int m2 = kNone; m2 < static_cast<int>(p.k); ++m2) {
+        if (!pair_allowed(i, m1, m2)) continue;
+        if (m2 == kNone) {
+          block2.add_free();
+        } else {
+          block2.add_codeword(cw[static_cast<std::size_t>(m2)], saved2[i]);
+        }
+        assign[i] = {m1, m2};
+        const graph::Weight dw =
+            static_cast<graph::Weight>(p.ell) *
+            ((m1 != kNone ? 1 : 0) + (m2 != kNone ? 1 : 0));
+        self(self, i + 1, clique_weight + dw);
+        if (m2 == kNone) {
+          block2.remove_free();
+        } else {
+          block2.remove_codeword(cw[static_cast<std::size_t>(m2)], saved2[i]);
+        }
+      }
+      if (m1 == kNone) {
+        block1.remove_free();
+      } else {
+        block1.remove_codeword(cw[static_cast<std::size_t>(m1)], saved1[i]);
+      }
+      assign[i] = {kNone, kNone};
+    }
+  };
+  recurse(recurse, 0, 0);
+
+  // Witness reconstruction, per block.
+  for (std::size_t i = 0; i < t; ++i) {
+    if (best_assign[i].first != kNone) {
+      block1.add_codeword(cw[static_cast<std::size_t>(best_assign[i].first)],
+                          saved1[i]);
+    }
+    if (best_assign[i].second != kNone) {
+      block2.add_codeword(cw[static_cast<std::size_t>(best_assign[i].second)],
+                          saved2[i]);
+    }
+  }
+  std::vector<graph::NodeId> witness;
+  for (std::size_t i = 0; i < t; ++i) {
+    if (best_assign[i].first != kNone) {
+      witness.push_back(
+          c.a_node(i, 0, static_cast<std::size_t>(best_assign[i].first)));
+    }
+    if (best_assign[i].second != kNone) {
+      witness.push_back(
+          c.a_node(i, 1, static_cast<std::size_t>(best_assign[i].second)));
+    }
+  }
+  for (std::size_t b = 0; b < 2; ++b) {
+    const BlockState& block = b == 0 ? block1 : block2;
+    for (std::size_t h = 0; h < m_pos; ++h) {
+      const std::size_t r = block.best_symbol(h);
+      for (std::size_t i = 0; i < t; ++i) {
+        const int choice =
+            b == 0 ? best_assign[i].first : best_assign[i].second;
+        if (choice == kNone ||
+            cw[static_cast<std::size_t>(choice)][h] == r) {
+          witness.push_back(c.code_node(i, b, h, r));
+        }
+      }
+    }
+  }
+  const graph::Graph fx = c.instantiate(inst);
+  maxis::IsSolution sol = maxis::checked(fx, std::move(witness));
+  CLB_EXPECT(sol.weight == best,
+             "structured solver: witness weight disagrees with search value");
+  return sol;
+}
+
+}  // namespace congestlb::lb

@@ -1,0 +1,33 @@
+// Remark 1: converting the weighted hard instances to unweighted graphs.
+//
+// Every node v of weight w > 1 is replaced by an independent set I(v) of w
+// unit-weight nodes. An edge {u, v} becomes: u—all of I(v) when u has unit
+// weight, and the complete bipartite graph I(u) x I(v) when both are heavy.
+// Any IS of the weighted graph maps to an equal-size IS of the expansion and
+// vice versa (an optimal unweighted IS takes all of I(v) or none), so OPT is
+// preserved exactly while n grows to Theta(k * ell) — costing the round
+// bound one log factor, exactly as Remark 1 states.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestlb::lb {
+
+struct UnweightedExpansion {
+  graph::Graph graph;  ///< all weights 1
+  /// copies_of[v] = the ids of I(v) in `graph` (singleton for unit nodes).
+  std::vector<std::vector<graph::NodeId>> copies_of;
+
+  /// Map an IS of the weighted graph to the corresponding IS here (take all
+  /// copies of every member).
+  std::vector<graph::NodeId> expand_set(
+      const std::vector<graph::NodeId>& weighted_set) const;
+};
+
+/// Expand a weighted graph per Remark 1. Requires all weights >= 1.
+UnweightedExpansion to_unweighted(const graph::Graph& g);
+
+}  // namespace congestlb::lb

@@ -1,0 +1,76 @@
+// A fixed-capacity dynamic bitset tuned for the branch-and-bound solver:
+// word-parallel and/andnot, first-set-bit scan, popcount. Kept header-only
+// and minimal on purpose (no bounds resizing; capacity fixed at
+// construction).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/expect.hpp"
+
+namespace congestlb::maxis {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t n) : n_(n), words_((n + 63) / 64, 0) {}
+
+  std::size_t capacity() const { return n_; }
+
+  void set(std::size_t i) {
+    CLB_EXPECT(i < n_, "Bitset::set out of range");
+    words_[i >> 6] |= 1ULL << (i & 63);
+  }
+  void reset(std::size_t i) {
+    CLB_EXPECT(i < n_, "Bitset::reset out of range");
+    words_[i >> 6] &= ~(1ULL << (i & 63));
+  }
+  bool test(std::size_t i) const {
+    CLB_EXPECT(i < n_, "Bitset::test out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  bool any() const {
+    for (std::uint64_t w : words_) {
+      if (w) return true;
+    }
+    return false;
+  }
+
+  std::size_t count() const {
+    std::size_t c = 0;
+    for (std::uint64_t w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// Index of the lowest set bit; capacity() if none.
+  std::size_t first() const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      if (words_[wi]) return wi * 64 + static_cast<std::size_t>(__builtin_ctzll(words_[wi]));
+    }
+    return n_;
+  }
+
+  Bitset& operator&=(const Bitset& other) {
+    CLB_EXPECT(n_ == other.n_, "Bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+    return *this;
+  }
+
+  /// *this &= ~other
+  Bitset& and_not(const Bitset& other) {
+    CLB_EXPECT(n_ == other.n_, "Bitset size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+    return *this;
+  }
+
+  friend Bitset operator&(Bitset a, const Bitset& b) { return a &= b; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace congestlb::maxis

@@ -1,0 +1,137 @@
+#include "maxis/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "maxis/bitset.hpp"
+#include "support/expect.hpp"
+
+namespace congestlb::maxis {
+
+namespace {
+
+class BnBSolver {
+ public:
+  BnBSolver(const graph::Graph& g, const BnBOptions& opts)
+      : g_(&g), opts_(opts), n_(g.num_nodes()) {
+    // Order vertices by weight desc, then degree desc: heavy, constrained
+    // vertices are decided first, which tightens the bound early.
+    order_.resize(n_);
+    std::iota(order_.begin(), order_.end(), 0);
+    std::sort(order_.begin(), order_.end(), [&](NodeId a, NodeId b) {
+      if (g.weight(a) != g.weight(b)) return g.weight(a) > g.weight(b);
+      if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+      return a < b;
+    });
+    pos_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) pos_[order_[i]] = i;
+
+    weight_.resize(n_);
+    adj_.assign(n_, Bitset(n_));
+    for (std::size_t i = 0; i < n_; ++i) {
+      const NodeId v = order_[i];
+      weight_[i] = g.weight(v);
+      CLB_EXPECT(weight_[i] >= 0, "branch-and-bound requires nonnegative weights");
+      for (NodeId nb : g.neighbors(v)) adj_[i].set(pos_[nb]);
+    }
+  }
+
+  BnBResult solve() {
+    Bitset all(n_);
+    for (std::size_t i = 0; i < n_; ++i) all.set(i);
+    chosen_.assign(n_, false);
+    best_chosen_.assign(n_, false);
+    recurse(all, 0);
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (best_chosen_[i]) nodes.push_back(order_[i]);
+    }
+    BnBResult result;
+    result.solution = checked(*g_, std::move(nodes));
+    CLB_EXPECT(result.solution.weight == best_,
+               "branch-and-bound: weight bookkeeping mismatch");
+    result.search_nodes = search_nodes_;
+    return result;
+  }
+
+ private:
+  /// Greedy clique cover of `cand`; sum over cliques of the max weight in
+  /// the clique upper-bounds any IS weight within cand.
+  Weight clique_cover_bound(Bitset cand) const {
+    Weight bound = 0;
+    while (true) {
+      const std::size_t v = cand.first();
+      if (v == n_) break;
+      Weight mx = weight_[v];
+      cand.reset(v);
+      Bitset common = cand & adj_[v];
+      while (true) {
+        const std::size_t u = common.first();
+        if (u == n_) break;
+        mx = std::max(mx, weight_[u]);
+        cand.reset(u);
+        common.reset(u);
+        common &= adj_[u];
+      }
+      bound += mx;
+    }
+    return bound;
+  }
+
+  void recurse(const Bitset& cand, Weight acc) {
+    ++search_nodes_;
+    CLB_EXPECT(opts_.max_search_nodes == 0 ||
+                   search_nodes_ <= opts_.max_search_nodes,
+               "branch-and-bound search-node budget exhausted");
+    if (acc > best_) {
+      best_ = acc;
+      best_chosen_ = chosen_;
+    }
+    const std::size_t v = cand.first();
+    if (v == n_) return;
+    if (acc + clique_cover_bound(cand) <= best_) return;
+
+    // Include v.
+    {
+      Bitset next = cand;
+      next.reset(v);
+      next.and_not(adj_[v]);
+      chosen_[v] = true;
+      recurse(next, acc + weight_[v]);
+      chosen_[v] = false;
+    }
+    // Exclude v.
+    {
+      Bitset next = cand;
+      next.reset(v);
+      recurse(next, acc);
+    }
+  }
+
+  const graph::Graph* g_;
+  BnBOptions opts_;
+  std::size_t n_;
+  std::vector<NodeId> order_;
+  std::vector<std::size_t> pos_;
+  std::vector<Weight> weight_;
+  std::vector<Bitset> adj_;
+  std::vector<char> chosen_;
+  std::vector<char> best_chosen_;
+  Weight best_ = -1;  ///< -1 so the empty set (weight 0) is recorded
+  std::uint64_t search_nodes_ = 0;
+};
+
+}  // namespace
+
+BnBResult solve_branch_and_bound(const graph::Graph& g, BnBOptions opts) {
+  if (g.num_nodes() == 0) {
+    return BnBResult{IsSolution{}, 0};
+  }
+  return BnBSolver(g, opts).solve();
+}
+
+IsSolution solve_exact(const graph::Graph& g) {
+  return solve_branch_and_bound(g).solution;
+}
+
+}  // namespace congestlb::maxis

@@ -1,0 +1,37 @@
+// Exact maximum-weight independent set by branch and bound.
+//
+// The workhorse oracle behind every claim verification (Claims 1-7 all
+// quantify OPT on gadget instances). Branching is include/exclude on a
+// (weight, degree)-priority vertex; the upper bound is a greedy clique
+// cover of the remaining candidates — an IS takes at most the single
+// heaviest vertex from each clique, and since the gadget graphs are unions
+// of large cliques the bound is near-exact there, which is what makes exact
+// solving feasible at hundreds of nodes.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "maxis/verify.hpp"
+
+namespace congestlb::maxis {
+
+struct BnBOptions {
+  /// Abort (throw InvariantError) after this many search-tree nodes; keeps
+  /// tests failing loudly instead of hanging. 0 = unlimited.
+  std::uint64_t max_search_nodes = 200'000'000;
+};
+
+struct BnBResult {
+  IsSolution solution;
+  std::uint64_t search_nodes = 0;  ///< search-tree size actually explored
+};
+
+/// Exact solver. Requires nonnegative weights.
+BnBResult solve_branch_and_bound(const graph::Graph& g, BnBOptions opts = {});
+
+/// Convenience wrapper returning just the solution.
+IsSolution solve_exact(const graph::Graph& g);
+
+}  // namespace congestlb::maxis

@@ -1,0 +1,19 @@
+// Exhaustive exact maximum-weight independent set for tiny graphs.
+//
+// The cross-check oracle: branch_and_bound and the gadget constructions are
+// validated against this on every graph small enough to afford it
+// (n <= kBruteForceLimit). Simple include/exclude recursion over a 64-bit
+// candidate mask with a weight-sum bound.
+
+#pragma once
+
+#include "maxis/verify.hpp"
+
+namespace congestlb::maxis {
+
+inline constexpr std::size_t kBruteForceLimit = 40;
+
+/// Exact MaxIS by exhaustive search. Requires num_nodes <= kBruteForceLimit.
+IsSolution solve_brute_force(const graph::Graph& g);
+
+}  // namespace congestlb::maxis

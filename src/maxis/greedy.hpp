@@ -1,0 +1,27 @@
+// Greedy (approximate) independent-set heuristics.
+//
+// Centralized counterparts of the distributed routines in congest/: used as
+// approximation baselines in benches and as the "cheap" side of the
+// two-party limitation argument (Section 1: with t players, splitting the
+// graph and solving each part exactly yields a 1/t-approximation with
+// O(log n) communication — see lowerbound::framework).
+
+#pragma once
+
+#include "maxis/verify.hpp"
+
+namespace congestlb::maxis {
+
+/// Repeatedly take the vertex maximizing weight/(degree+1) among remaining
+/// vertices, discard its neighbors. Classic w/(d+1) greedy; achieves at
+/// least sum_v w(v)/(deg(v)+1) (Turan-style bound).
+IsSolution solve_greedy_weight_degree(const graph::Graph& g);
+
+/// Repeatedly take the minimum-degree vertex (unweighted flavor; weights
+/// only used for the final tally).
+IsSolution solve_greedy_min_degree(const graph::Graph& g);
+
+/// Take vertices in descending weight order, skipping conflicts.
+IsSolution solve_greedy_max_weight(const graph::Graph& g);
+
+}  // namespace congestlb::maxis

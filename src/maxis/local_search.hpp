@@ -1,0 +1,38 @@
+// Local-search improvement for weighted independent sets.
+//
+// Classic (1,1)/(1,2)-swap local search: starting from any independent set
+// it greedily applies three move types until none applies —
+//   * add:    a vertex with no IS neighbor joins;
+//   * (1,1):  v in I is replaced by a heavier non-member whose only IS
+//             neighbor is v;
+//   * (1,2):  v in I is replaced by two non-adjacent non-members whose
+//             only IS neighbor is v, when their combined weight is larger.
+// The result dominates the input and is 2-swap-optimal. Used as a
+// strengthening pass over the greedy baselines and as an independent
+// check that the exact solvers leave no easy improvement behind.
+
+#pragma once
+
+#include <cstdint>
+
+#include "maxis/verify.hpp"
+
+namespace congestlb::maxis {
+
+struct LocalSearchResult {
+  IsSolution solution;
+  std::size_t moves_applied = 0;
+};
+
+/// Improve `start` (must be an IS of g) to 2-swap optimality. `max_moves`
+/// caps the work (throws if exceeded; the default is far beyond anything a
+/// sane instance needs).
+LocalSearchResult improve_local_search(const graph::Graph& g,
+                                       std::vector<NodeId> start,
+                                       std::uint64_t max_moves = 1'000'000);
+
+/// Greedy (weight/degree) start + local search: the strongest cheap
+/// heuristic in the library.
+IsSolution solve_greedy_plus_local_search(const graph::Graph& g);
+
+}  // namespace congestlb::maxis

@@ -1,0 +1,24 @@
+#include "maxis/verify.hpp"
+
+#include <algorithm>
+
+#include "support/expect.hpp"
+
+namespace congestlb::maxis {
+
+IsSolution checked(const graph::Graph& g, std::vector<NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  CLB_EXPECT(g.is_independent_set(nodes), "checked: not an independent set");
+  IsSolution sol;
+  sol.weight = g.weight_of(nodes);
+  sol.nodes = std::move(nodes);
+  return sol;
+}
+
+double approximation_ratio(Weight got, Weight opt) {
+  CLB_EXPECT(opt > 0, "approximation_ratio: OPT must be positive");
+  CLB_EXPECT(got >= 0 && got <= opt, "approximation_ratio: got outside [0, OPT]");
+  return static_cast<double>(got) / static_cast<double>(opt);
+}
+
+}  // namespace congestlb::maxis

@@ -1,0 +1,32 @@
+// Independent-set verification and bookkeeping.
+//
+// Every solver in this module returns an IsSolution that has been passed
+// through checked() — callers can rely on the invariant that `nodes` is a
+// genuine independent set and `weight` equals its total weight.
+
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestlb::maxis {
+
+using graph::NodeId;
+using graph::Weight;
+
+struct IsSolution {
+  std::vector<NodeId> nodes;  ///< sorted ascending
+  Weight weight = 0;
+};
+
+/// Validate `nodes` against g: distinct ids, pairwise non-adjacent. Returns
+/// the solution with nodes sorted and weight filled in; throws otherwise.
+IsSolution checked(const graph::Graph& g, std::vector<NodeId> nodes);
+
+/// The approximation ratio achieved by `got` against optimal weight `opt`
+/// (paper Definition 5 uses w(I) >= OPT/gamma; we report w(I)/OPT in [0,1]).
+double approximation_ratio(Weight got, Weight opt);
+
+}  // namespace congestlb::maxis

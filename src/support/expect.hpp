@@ -1,0 +1,46 @@
+// Invariant and precondition checking.
+//
+// All library modules validate their inputs at API boundaries and throw
+// congestlb::InvariantError on violation (C++ Core Guidelines I.5/I.6: state
+// preconditions and check them). Lower-bound accounting is meaningless if the
+// model constraints (e.g. the CONGEST per-edge bit budget) are silently
+// violated, so checks stay enabled in release builds.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace congestlb {
+
+/// Thrown when a precondition or internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::string full = std::string("invariant violated: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) full += " — " + msg;
+  throw InvariantError(full);
+}
+
+}  // namespace detail
+
+}  // namespace congestlb
+
+/// Check `cond`; on failure throw InvariantError with a formatted message.
+#define CLB_EXPECT(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::congestlb::detail::raise_invariant(#cond, __FILE__, __LINE__,    \
+                                           (msg));                       \
+    }                                                                    \
+  } while (false)
+
+/// Check `cond` with no extra message.
+#define CLB_CHECK(cond) CLB_EXPECT((cond), std::string{})

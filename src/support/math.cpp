@@ -1,0 +1,69 @@
+#include "support/math.hpp"
+
+#include <cmath>
+
+#include "support/expect.hpp"
+
+namespace congestlb {
+
+int ceil_log2(std::uint64_t x) {
+  CLB_EXPECT(x >= 1, "ceil_log2 requires x >= 1");
+  int bits = 0;
+  std::uint64_t v = x - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+int floor_log2(std::uint64_t x) {
+  CLB_EXPECT(x >= 1, "floor_log2 requires x >= 1");
+  int bits = -1;
+  while (x > 0) {
+    ++bits;
+    x >>= 1;
+  }
+  return bits;
+}
+
+std::optional<std::uint64_t> checked_pow(std::uint64_t base,
+                                         std::uint64_t exp) {
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < exp; ++i) {
+    if (base != 0 && result > ~0ULL / base) return std::nullopt;
+    result *= base;
+  }
+  return result;
+}
+
+bool is_prime(std::uint64_t x) {
+  if (x < 2) return false;
+  if (x < 4) return true;
+  if (x % 2 == 0) return false;
+  for (std::uint64_t d = 3; d * d <= x; d += 2) {
+    if (x % d == 0) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t x) {
+  CLB_EXPECT(x >= 2, "next_prime requires x >= 2");
+  std::uint64_t p = x;
+  while (!is_prime(p)) ++p;
+  return p;
+}
+
+PaperParams paper_ell_alpha(std::uint64_t k) {
+  CLB_EXPECT(k >= 2, "paper_ell_alpha requires k >= 2");
+  const double lg = std::log2(static_cast<double>(k));
+  const double lglg = std::max(std::log2(lg), 1.0);
+  const double alpha_d = lg / lglg;
+  const double ell_d = lg - alpha_d;
+  PaperParams p;
+  p.alpha = static_cast<std::uint64_t>(std::max(1.0, std::round(alpha_d)));
+  p.ell = static_cast<std::uint64_t>(std::max(1.0, std::round(ell_d)));
+  return p;
+}
+
+}  // namespace congestlb

@@ -1,0 +1,40 @@
+// Small integer-math helpers shared across modules: checked powers, integer
+// logarithms, and the asymptotic parameter formulas the paper uses
+// (Section 4.2.1: ell = log k - log k/log log k, alpha = log k/log log k).
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace congestlb {
+
+/// ceil(log2(x)) for x >= 1; 0 for x == 1. This is the bit width used for
+/// CONGEST message budgets (O(log n) bits) and node identifiers.
+int ceil_log2(std::uint64_t x);
+
+/// floor(log2(x)) for x >= 1.
+int floor_log2(std::uint64_t x);
+
+/// base^exp if it fits in uint64, std::nullopt on overflow.
+std::optional<std::uint64_t> checked_pow(std::uint64_t base, std::uint64_t exp);
+
+/// Smallest prime >= x (x >= 2). Trial division; fine for gadget-sized inputs.
+std::uint64_t next_prime(std::uint64_t x);
+
+/// Deterministic primality by trial division (inputs are gadget-sized).
+bool is_prime(std::uint64_t x);
+
+/// The paper's asymptotic parameter choice for a universe of size k
+/// (Section 4.2.1): ell = log k - log k/log log k, alpha = log k/log log k,
+/// rounded to integers >= 1. Note that after rounding, (ell+alpha)^alpha >= k
+/// may fail for small k; lowerbound::GadgetParams::from_k repairs that by
+/// growing ell. Exposed separately so benches can report the "paper regime"
+/// values verbatim.
+struct PaperParams {
+  std::uint64_t ell;
+  std::uint64_t alpha;
+};
+PaperParams paper_ell_alpha(std::uint64_t k);
+
+}  // namespace congestlb

@@ -1,0 +1,90 @@
+#include "support/rng.hpp"
+
+#include "support/expect.hpp"
+
+namespace congestlb {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  CLB_EXPECT(bound > 0, "Rng::below requires a positive bound");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod bound
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  CLB_EXPECT(lo <= hi, "Rng::range requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::size_t> Rng::sample(std::size_t n, std::size_t m) {
+  CLB_EXPECT(m <= n, "Rng::sample requires m <= n");
+  // Floyd's subset sampling: for j in [n-m, n), draw r in [0, j]; insert r,
+  // or j if r already present. Uses a sorted vector as the set (m is small
+  // in all our uses).
+  std::vector<std::size_t> out;
+  out.reserve(m);
+  for (std::size_t j = n - m; j < n; ++j) {
+    std::size_t r = static_cast<std::size_t>(below(j + 1));
+    auto it = std::lower_bound(out.begin(), out.end(), r);
+    if (it != out.end() && *it == r) {
+      auto jt = std::lower_bound(out.begin(), out.end(), j);
+      out.insert(jt, j);
+    } else {
+      out.insert(it, r);
+    }
+  }
+  return out;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace congestlb

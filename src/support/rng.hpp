@@ -1,0 +1,68 @@
+// Deterministic, seedable random number generation.
+//
+// All randomized components of the library (instance generators, Luby's
+// algorithm, property-test sweeps) draw from Rng so that every experiment is
+// reproducible from a single 64-bit seed. The generator is xoshiro256**,
+// seeded through splitmix64 — fast, high quality, and fully self-contained
+// (no dependence on libstdc++'s unspecified distribution implementations,
+// so streams are identical across platforms).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace congestlb {
+
+/// splitmix64 step; used for seeding and as a cheap standalone mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience sampling helpers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle etc.).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli(p) coin flip, p in [0,1].
+  bool chance(double p);
+
+  /// Uniform double in [0,1).
+  double uniform();
+
+  /// A uniformly random size-m subset of {0,...,n-1}, sorted ascending.
+  /// Requires m <= n. (Floyd's algorithm; O(m) expected draws.)
+  std::vector<std::size_t> sample(std::size_t n, std::size_t m);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child generator (for per-node randomness).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace congestlb

@@ -1,0 +1,59 @@
+// Console table rendering for bench output.
+//
+// Every bench binary prints "paper claim vs measured" rows; Table keeps them
+// aligned and can also emit CSV so EXPERIMENTS.md tables are regenerable.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace congestlb {
+
+/// A simple right-aligned console table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: stringify an arbitrary mix of cell values.
+  template <typename... Ts>
+  void row(const Ts&... vals) {
+    add_row({cell(vals)...});
+  }
+
+  /// Render with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (RFC-4180-style quoting for commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  static std::string cell(const std::string& s) { return s; }
+  static std::string cell(const char* s) { return s; }
+  static std::string cell(bool b) { return b ? "yes" : "no"; }
+  static std::string cell(double d);
+  template <typename T>
+  static std::string cell(T v)
+    requires std::is_integral_v<T>
+  {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print an underlined section heading (used by benches between tables).
+void print_heading(std::ostream& os, const std::string& title);
+
+/// Format a double with `digits` significant decimals (fixed notation).
+std::string fmt_double(double v, int digits = 3);
+
+}  // namespace congestlb

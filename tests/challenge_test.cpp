@@ -1,0 +1,86 @@
+// "The Challenge" (Section 1), as testable behavior: on NO instances of
+// PLAIN multi-party set-disjointness, the gadget's MaxIS depends on the
+// pairwise-intersection pattern — each intersecting pair i,j lets the IS
+// pick two weight-ell nodes v^i_m, v^j_m with the SAME index, recovering
+// the full 2*ell + ... structure for that pair. The promise (pairwise
+// disjoint XOR uniquely intersecting) eliminates every such sub-case.
+
+#include <gtest/gtest.h>
+
+#include "comm/instances.hpp"
+#include "lowerbound/linear_family.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::lb {
+namespace {
+
+std::vector<std::vector<std::uint8_t>> pattern_strings(std::size_t k,
+                                                       bool i12, bool i13,
+                                                       bool i23) {
+  std::vector<std::vector<std::uint8_t>> s(3, std::vector<std::uint8_t>(k, 0));
+  std::size_t next = 0;
+  auto add_pair = [&](std::size_t a, std::size_t b) {
+    s[a][next] = 1;
+    s[b][next] = 1;
+    ++next;
+  };
+  if (i12) add_pair(0, 1);
+  if (i13) add_pair(0, 2);
+  if (i23) add_pair(1, 2);
+  for (std::size_t i = 0; i < 3; ++i) s[i][next++] = 1;
+  return s;
+}
+
+TEST(Challenge, PairwiseIntersectionsInflateTheNoSide) {
+  const auto p = GadgetParams::from_l_alpha(5, 1, 6);
+  const LinearConstruction c(p, 3);
+  const auto base = pattern_strings(p.k, false, false, false);
+  const auto one_pair = pattern_strings(p.k, true, false, false);
+  const auto w_base = maxis::solve_exact(c.instantiate_raw(base)).weight;
+  const auto w_pair = maxis::solve_exact(c.instantiate_raw(one_pair)).weight;
+  // A pairwise intersection strictly increases the achievable weight.
+  EXPECT_GT(w_pair, w_base);
+  // Neither input has a triple intersection, so plain 3-party
+  // set-disjointness calls both "NO" — yet their gadget values differ:
+  // no single threshold handles both sub-cases.
+  EXPECT_EQ(comm::classify(base), comm::InstanceClass::kPairwiseDisjoint);
+  EXPECT_EQ(comm::classify(one_pair), comm::InstanceClass::kPromiseViolation);
+}
+
+TEST(Challenge, PromiseLegalRowIsTheOnlySafeOne) {
+  const auto p = GadgetParams::from_l_alpha(5, 1, 6);
+  const LinearConstruction c(p, 3);
+  for (int mask = 0; mask < 8; ++mask) {
+    const auto s = pattern_strings(p.k, mask & 1, mask & 2, mask & 4);
+    const auto cls = comm::classify(s);
+    if (mask == 0) {
+      EXPECT_EQ(cls, comm::InstanceClass::kPairwiseDisjoint);
+      EXPECT_LE(maxis::solve_exact(c.instantiate_raw(s)).weight,
+                c.no_bound());
+    } else {
+      EXPECT_EQ(cls, comm::InstanceClass::kPromiseViolation);
+    }
+  }
+}
+
+TEST(Challenge, RawInstantiateAgreesWithCheckedOnPromiseInputs) {
+  const auto p = GadgetParams::from_l_alpha(4, 1, 5);
+  const LinearConstruction c(p, 3);
+  Rng rng(9);
+  const auto inst = comm::make_pairwise_disjoint(5, 3, rng, 0.4);
+  EXPECT_TRUE(c.instantiate(inst) == c.instantiate_raw(inst.strings));
+}
+
+TEST(Challenge, RawInstantiateValidatesShape) {
+  const auto p = GadgetParams::from_l_alpha(4, 1, 5);
+  const LinearConstruction c(p, 2);
+  EXPECT_THROW(c.instantiate_raw({{1, 0, 0, 0, 0}}), InvariantError);
+  EXPECT_THROW(c.instantiate_raw({{1, 0}, {0, 1}}), InvariantError);
+  EXPECT_THROW(c.instantiate_raw({{1, 0, 0, 0, 2}, {0, 0, 0, 0, 0}}),
+               InvariantError);
+}
+
+}  // namespace
+}  // namespace congestlb::lb

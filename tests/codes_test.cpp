@@ -1,0 +1,263 @@
+// Error-correcting codes: prime field axioms, Reed-Solomon distance
+// (Theorem 4), baseline codes, gadget-code parameter selection.
+
+#include <gtest/gtest.h>
+
+#include "codes/code_mapping.hpp"
+#include "codes/params.hpp"
+#include "codes/prime_field.hpp"
+#include "codes/reed_solomon.hpp"
+#include "codes/trivial_codes.hpp"
+#include "support/expect.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::codes {
+namespace {
+
+// ------------------------------------------------------------ PrimeField --
+
+class PrimeFieldAxioms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrimeFieldAxioms, RingAndFieldLaws) {
+  const PrimeField f(GetParam());
+  const std::uint64_t p = f.order();
+  Rng rng(p);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t a = rng.below(p), b = rng.below(p), c = rng.below(p);
+    EXPECT_EQ(f.add(a, b), f.add(b, a));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+    EXPECT_EQ(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    EXPECT_EQ(f.add(a, f.neg(a)), 0u);
+    EXPECT_EQ(f.sub(a, b), f.add(a, f.neg(b)));
+    if (a != 0) {
+      EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Primes, PrimeFieldAxioms,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 101, 257));
+
+TEST(PrimeField, RejectsComposite) {
+  EXPECT_THROW(PrimeField(4), InvariantError);
+  EXPECT_THROW(PrimeField(1), InvariantError);
+  EXPECT_THROW(PrimeField(0), InvariantError);
+}
+
+TEST(PrimeField, RejectsOutOfRangeElements) {
+  const PrimeField f(7);
+  EXPECT_THROW(f.add(7, 0), InvariantError);
+  EXPECT_THROW(f.mul(0, 9), InvariantError);
+  EXPECT_THROW(f.inv(0), InvariantError);
+}
+
+TEST(PrimeField, FermatPow) {
+  const PrimeField f(13);
+  for (std::uint64_t a = 1; a < 13; ++a) {
+    EXPECT_EQ(f.pow(a, 12), 1u) << a;  // Fermat's little theorem
+  }
+  EXPECT_EQ(f.pow(0, 0), 1u);
+  EXPECT_EQ(f.pow(5, 1), 5u);
+}
+
+TEST(PrimeField, PolyEvalMatchesManual) {
+  const PrimeField f(11);
+  // f(x) = 3 + 2x + x^2 at x = 4 -> 3 + 8 + 16 = 27 = 5 (mod 11)
+  EXPECT_EQ(f.eval_poly({3, 2, 1}, 4), 5u);
+  EXPECT_EQ(f.eval_poly({}, 4), 0u);
+  EXPECT_EQ(f.eval_poly({7}, 9), 7u);
+}
+
+// ---------------------------------------------------------- Reed-Solomon --
+
+TEST(ReedSolomon, ParameterValidation) {
+  EXPECT_THROW(ReedSolomonCode(0, 3, 7), InvariantError);   // L >= 1
+  EXPECT_THROW(ReedSolomonCode(4, 3, 7), InvariantError);   // L <= M
+  EXPECT_THROW(ReedSolomonCode(2, 8, 7), InvariantError);   // M <= p
+  EXPECT_THROW(ReedSolomonCode(2, 4, 6), InvariantError);   // p prime
+  EXPECT_NO_THROW(ReedSolomonCode(2, 7, 7));
+}
+
+TEST(ReedSolomon, EncodeIsPolynomialEvaluation) {
+  const ReedSolomonCode code(2, 5, 7);
+  // message (3, 2): f(x) = 3 + 2x over GF(7), evaluated at 0..4.
+  const Word cw = code.encode(std::vector<Symbol>{3, 2});
+  const Word expect{3, 5, 0, 2, 4};
+  EXPECT_EQ(cw, expect);
+}
+
+TEST(ReedSolomon, RejectsWrongMessageLength) {
+  const ReedSolomonCode code(2, 5, 7);
+  EXPECT_THROW(code.encode(std::vector<Symbol>{1}), InvariantError);
+  EXPECT_THROW(code.encode(std::vector<Symbol>{1, 2, 3}), InvariantError);
+}
+
+TEST(ReedSolomon, DistanceIsSingleton) {
+  const ReedSolomonCode code(2, 5, 7);
+  EXPECT_EQ(code.min_distance(), 4u);  // M - L + 1
+  EXPECT_EQ(code.num_messages(), 49u);
+  // Exhaustive verification over all 49*48/2 pairs.
+  const std::size_t min_seen = verify_min_distance(code);
+  EXPECT_EQ(min_seen, 4u);  // Singleton bound met with equality by some pair
+}
+
+class RsDistanceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RsDistanceSweep, MinimumDistanceHolds) {
+  const auto [l, m, p] = GetParam();
+  const ReedSolomonCode code(l, m, p);
+  const std::size_t min_seen =
+      verify_min_distance(code, /*exhaustive_limit=*/2048, /*samples=*/4000);
+  EXPECT_GE(min_seen, code.min_distance());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RsDistanceSweep,
+    ::testing::Values(std::tuple(1, 3, 3), std::tuple(1, 5, 5),
+                      std::tuple(2, 6, 7), std::tuple(2, 11, 11),
+                      std::tuple(3, 7, 7), std::tuple(3, 13, 13),
+                      std::tuple(4, 11, 11)));
+
+TEST(ReedSolomon, MessageIndexRoundTrip) {
+  const ReedSolomonCode code(3, 7, 7);
+  // message_of_index is a bijection on [0, q^L) — spot-check injectivity on
+  // a prefix plus base-q digit identity.
+  const std::uint64_t q = code.alphabet_size();
+  for (std::uint64_t m = 0; m < 200; ++m) {
+    const Word msg = code.message_of_index(m);
+    std::uint64_t back = 0, mult = 1;
+    for (Symbol s : msg) {
+      back += s * mult;
+      mult *= q;
+    }
+    EXPECT_EQ(back, m);
+  }
+  EXPECT_THROW(code.message_of_index(code.num_messages()), InvariantError);
+}
+
+class RsErasureDecoding : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RsErasureDecoding, RecoversFromMaximalErasures) {
+  Rng rng(GetParam());
+  const ReedSolomonCode code(3, 9, 11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::uint64_t m = rng.below(code.num_messages());
+    const Word msg = code.message_of_index(m);
+    const Word cw = code.encode(msg);
+    // Erase up to M - L = 6 random positions.
+    const std::size_t erasures = rng.below(code.codeword_length() -
+                                           code.message_length() + 1);
+    std::vector<std::optional<Symbol>> received(cw.begin(), cw.end());
+    for (std::size_t e : rng.sample(code.codeword_length(), erasures)) {
+      received[e] = std::nullopt;
+    }
+    EXPECT_EQ(code.decode(received), msg) << "m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RsErasureDecoding,
+                         ::testing::Values(91, 92, 93, 94));
+
+TEST(ReedSolomon, DecodeRejectsTooManyErasures) {
+  const ReedSolomonCode code(3, 7, 7);
+  std::vector<std::optional<Symbol>> received(7, std::nullopt);
+  received[0] = 1;
+  received[1] = 2;  // only 2 < L = 3 known
+  EXPECT_THROW(code.decode(received), InvariantError);
+}
+
+TEST(ReedSolomon, DecodeDetectsCorruption) {
+  const ReedSolomonCode code(2, 6, 7);
+  const Word cw = code.encode(std::vector<Symbol>{3, 4});
+  std::vector<std::optional<Symbol>> received(cw.begin(), cw.end());
+  received[5] = (*received[5] + 1) % 7;  // flip one symbol, keep all known
+  EXPECT_THROW(code.decode(received), InvariantError);
+}
+
+TEST(ReedSolomon, DecodeValidatesInput) {
+  const ReedSolomonCode code(2, 6, 7);
+  std::vector<std::optional<Symbol>> wrong_len(5, Symbol{0});
+  EXPECT_THROW(code.decode(wrong_len), InvariantError);
+  std::vector<std::optional<Symbol>> bad_symbol(6, Symbol{0});
+  bad_symbol[2] = Symbol{9};  // >= field order
+  EXPECT_THROW(code.decode(bad_symbol), InvariantError);
+}
+
+TEST(HammingDistance, BasicsAndMismatchRejection) {
+  EXPECT_EQ(hamming_distance(Word{1, 2, 3}, Word{1, 2, 3}), 0u);
+  EXPECT_EQ(hamming_distance(Word{1, 2, 3}, Word{3, 2, 1}), 2u);
+  EXPECT_THROW(hamming_distance(Word{1}, Word{1, 2}), InvariantError);
+}
+
+// --------------------------------------------------------- trivial codes --
+
+TEST(TrivialCodes, IdentityProperties) {
+  const IdentityCode code(4, 5);
+  EXPECT_EQ(code.min_distance(), 1u);
+  EXPECT_EQ(code.codeword_length(), 4u);
+  const Word w = code.encode(std::vector<Symbol>{0, 4, 2, 1});
+  EXPECT_EQ(w, (Word{0, 4, 2, 1}));
+  EXPECT_GE(verify_min_distance(code, 700), 1u);
+  EXPECT_THROW(code.encode(std::vector<Symbol>{0, 9, 0, 0}), InvariantError);
+}
+
+TEST(TrivialCodes, PaddingKeepsDistanceOne) {
+  const PaddingCode code(2, 6, 4);
+  const Word w = code.encode(std::vector<Symbol>{3, 1});
+  EXPECT_EQ(w, (Word{3, 1, 0, 0, 0, 0}));
+  // Two messages differing in one symbol stay at distance 1 despite M >> L.
+  const Word a = code.encode(std::vector<Symbol>{3, 1});
+  const Word b = code.encode(std::vector<Symbol>{2, 1});
+  EXPECT_EQ(hamming_distance(a, b), 1u);
+}
+
+TEST(TrivialCodes, RepetitionIsMaxDistance) {
+  const RepetitionCode code(5, 3);
+  EXPECT_EQ(code.min_distance(), 5u);
+  EXPECT_EQ(code.num_messages(), 3u);
+  EXPECT_EQ(verify_min_distance(code), 5u);
+}
+
+TEST(TrivialCodes, ParameterValidation) {
+  EXPECT_THROW(IdentityCode(0, 3), InvariantError);
+  EXPECT_THROW(IdentityCode(3, 1), InvariantError);
+  EXPECT_THROW(PaddingCode(4, 3, 5), InvariantError);
+  EXPECT_THROW(RepetitionCode(0, 3), InvariantError);
+}
+
+// ------------------------------------------------------------ GadgetCode --
+
+TEST(GadgetCode, MatchesTheorem4Shape) {
+  // Theorem 4 instantiated at (alpha, ell+alpha, ell, Sigma).
+  for (auto [ell, alpha] : {std::pair<std::size_t, std::size_t>{2, 1},
+                            {4, 1},
+                            {5, 2},
+                            {10, 3}}) {
+    const GadgetCode gc = make_gadget_code(ell, alpha);
+    EXPECT_EQ(gc.code->message_length(), alpha);
+    EXPECT_EQ(gc.code->codeword_length(), ell + alpha);
+    EXPECT_GE(gc.code->min_distance(), ell);
+    EXPECT_GE(gc.prime, ell + alpha);  // alphabet covers all positions
+    EXPECT_GE(gc.max_messages,
+              checked_pow(ell + alpha, alpha).value());  // capacity >= k
+  }
+}
+
+TEST(GadgetCode, PrimeIsMinimal) {
+  EXPECT_EQ(make_gadget_code(2, 1).prime, 3u);
+  EXPECT_EQ(make_gadget_code(4, 1).prime, 5u);
+  EXPECT_EQ(make_gadget_code(5, 1).prime, 7u);  // 6 -> 7
+  EXPECT_EQ(make_gadget_code(6, 2).prime, 11u);  // 8 -> 11
+}
+
+TEST(GadgetCode, RejectsDegenerate) {
+  EXPECT_THROW(make_gadget_code(0, 1), InvariantError);
+  EXPECT_THROW(make_gadget_code(1, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace congestlb::codes

@@ -1,0 +1,85 @@
+// Randomized (deg+1)-coloring: propriety, palette bound, round count, and
+// seed determinism.
+
+#include <gtest/gtest.h>
+
+#include "congest/algorithms/coloring.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::congest {
+namespace {
+
+std::vector<std::int64_t> run_coloring(const graph::Graph& g,
+                                       std::uint64_t seed,
+                                       std::size_t* rounds = nullptr) {
+  NetworkConfig cfg;
+  cfg.seed = seed;
+  Network net(g, random_coloring_factory(), cfg);
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.all_finished);
+  if (rounds) *rounds = stats.rounds;
+  return net.outputs();
+}
+
+void expect_proper(const graph::Graph& g,
+                   const std::vector<std::int64_t>& colors) {
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GT(colors[v], 0) << "node " << v << " undecided";
+    // Palette bound: color in [0, deg(v)].
+    EXPECT_LE(colors[v] - 1, static_cast<std::int64_t>(g.degree(v)));
+  }
+  for (auto [u, v] : graph::edge_list(g)) {
+    EXPECT_NE(colors[u], colors[v]) << "edge " << u << "-" << v;
+  }
+}
+
+class ColoringSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColoringSweep, ProperAndWithinPalette) {
+  Rng rng(GetParam());
+  auto g = graph::gnp_random(rng, 4 + rng.below(50), 0.2);
+  expect_proper(g, run_coloring(g, GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Coloring, CliqueUsesAllColors) {
+  auto g = graph::complete_graph(9);
+  const auto colors = run_coloring(g, 5);
+  expect_proper(g, colors);
+  std::set<std::int64_t> used(colors.begin(), colors.end());
+  EXPECT_EQ(used.size(), 9u);  // K_9 needs 9 distinct colors
+}
+
+TEST(Coloring, IsolatedNodesGetColorZero) {
+  graph::Graph g(4);
+  const auto colors = run_coloring(g, 1);
+  for (auto c : colors) EXPECT_EQ(c, 1);  // color 0, reported +1
+}
+
+TEST(Coloring, TerminatesQuicklyOnLargeGraph) {
+  Rng rng(31);
+  auto g = graph::gnp_random(rng, 300, 0.03);
+  std::size_t rounds = 0;
+  expect_proper(g, run_coloring(g, 7, &rounds));
+  EXPECT_LT(rounds, 100u);  // O(log n) w.h.p., wide slack
+}
+
+TEST(Coloring, DeterministicGivenSeed) {
+  Rng rng(9);
+  auto g = graph::gnp_random(rng, 60, 0.15);
+  EXPECT_EQ(run_coloring(g, 42), run_coloring(g, 42));
+}
+
+TEST(Coloring, PathUsesAtMostThreeColors) {
+  auto g = graph::path_graph(30);
+  const auto colors = run_coloring(g, 3);
+  expect_proper(g, colors);
+  for (auto c : colors) EXPECT_LE(c, 3);  // deg+1 <= 3 on a path
+}
+
+}  // namespace
+}  // namespace congestlb::congest

@@ -1,0 +1,117 @@
+// The CONGEST-Broadcast restriction (paper introduction: the model of [11],
+// where a node must send the SAME O(log n)-bit message to all neighbors).
+// All our node programs turn out to be broadcast algorithms — the MIS
+// routines send_all by construction, and the universal gossip advances all
+// neighbor cursors in lockstep — so they run unchanged under the strict
+// checker, and a broadcast algorithm's output cannot depend on the mode.
+// (Genuinely personalized traffic is covered by
+// congest_test.cpp/BroadcastModeRejectsPersonalizedMessages.)
+
+#include <gtest/gtest.h>
+
+#include "congest/algorithms/greedy_mis.hpp"
+#include "congest/algorithms/luby_mis.hpp"
+#include "congest/algorithms/universal_maxis.hpp"
+#include "congest/algorithms/weighted_greedy.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::congest {
+namespace {
+
+void expect_maximal_is(const graph::Graph& g,
+                       const std::vector<graph::NodeId>& is) {
+  ASSERT_TRUE(g.is_independent_set(is));
+  std::vector<bool> in(g.num_nodes(), false);
+  for (auto v : is) in[v] = true;
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (in[v]) continue;
+    bool dominated = false;
+    for (auto nb : g.neighbors(v)) {
+      if (in[nb]) {
+        dominated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(dominated);
+  }
+}
+
+class BroadcastMisSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BroadcastMisSweep, GreedyRunsUnderBroadcastRestriction) {
+  Rng rng(GetParam());
+  auto g = graph::gnp_random(rng, 5 + rng.below(30), 0.25);
+  NetworkConfig cfg;
+  cfg.broadcast_only = true;
+  Network net(g, greedy_mis_factory(), cfg);
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.all_finished);
+  expect_maximal_is(g, net.selected_nodes());
+}
+
+TEST_P(BroadcastMisSweep, LubyRunsUnderBroadcastRestriction) {
+  Rng rng(GetParam() + 500);
+  auto g = graph::gnp_random(rng, 5 + rng.below(30), 0.25);
+  NetworkConfig cfg;
+  cfg.broadcast_only = true;
+  cfg.seed = GetParam();
+  Network net(g, luby_mis_factory(), cfg);
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.all_finished);
+  expect_maximal_is(g, net.selected_nodes());
+}
+
+TEST_P(BroadcastMisSweep, WeightedGreedyRunsUnderBroadcastRestriction) {
+  Rng rng(GetParam() + 900);
+  auto g = graph::gnp_random(rng, 5 + rng.below(30), 0.25, 9);
+  NetworkConfig cfg;
+  cfg.broadcast_only = true;
+  Network net(g, weighted_greedy_factory(), cfg);
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.all_finished);
+  expect_maximal_is(g, net.selected_nodes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BroadcastMisSweep,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
+TEST(Broadcast, SameResultAsUnicastForBroadcastAlgorithms) {
+  // A broadcast algorithm's behavior cannot change when the restriction is
+  // lifted: identical outputs either way.
+  Rng rng(7);
+  auto g = graph::gnp_random(rng, 35, 0.2);
+  NetworkConfig uni, bro;
+  bro.broadcast_only = true;
+  Network a(g, greedy_mis_factory(), uni);
+  Network b(g, greedy_mis_factory(), bro);
+  a.run();
+  b.run();
+  EXPECT_EQ(a.selected_nodes(), b.selected_nodes());
+}
+
+TEST(Broadcast, UniversalGossipIsBroadcastCompatible) {
+  // The token pipeline advances all neighbor cursors in lockstep over the
+  // same token list, so every neighbor receives the identical message each
+  // round — the universal algorithm is in fact a CONGEST-Broadcast
+  // algorithm, and the strict broadcast checker accepts it.
+  Rng rng(3);
+  auto g = graph::gnp_random_connected(rng, 12, 0.4);
+  NetworkConfig cfg;
+  cfg.broadcast_only = true;
+  cfg.bits_per_edge = universal_required_bits(g.num_nodes(), 1);
+  Network net(g, universal_maxis_factory([](const graph::Graph& gg) {
+                return maxis::solve_exact(gg).nodes;
+              }),
+              cfg);
+  const auto stats = net.run();
+  ASSERT_TRUE(stats.all_finished);
+  const auto sel = net.selected_nodes();
+  EXPECT_EQ(g.weight_of(sel), maxis::solve_exact(g).weight);
+}
+
+}  // namespace
+}  // namespace congestlb::congest

@@ -1,0 +1,177 @@
+// Standard CONGEST primitives: BFS layering, leader election, convergecast
+// aggregation. Each is validated against the centralized ground truth on
+// fixed and random topologies.
+
+#include <gtest/gtest.h>
+
+#include "congest/algorithms/aggregate.hpp"
+#include "congest/algorithms/bfs_tree.hpp"
+#include "congest/algorithms/leader_election.hpp"
+#include "congest/network.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::congest {
+namespace {
+
+// -------------------------------------------------------------- BFS levels --
+
+class BfsLevelSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsLevelSweep, LevelsMatchCentralizedBfs) {
+  Rng rng(GetParam());
+  auto g = graph::gnp_random_connected(rng, 5 + rng.below(50), 0.1);
+  const graph::NodeId root = rng.below(g.num_nodes());
+  Network net(g, bfs_level_factory(root));
+  const auto stats = net.run();
+  ASSERT_TRUE(stats.all_finished);
+  const auto dist = graph::bfs_distances(g, root);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(net.program(v).output(),
+              static_cast<std::int64_t>(dist[v] + 1))
+        << "node " << v;
+  }
+  // O(D) rounds (+ constant slack).
+  EXPECT_LE(stats.rounds, graph::diameter(g) + 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsLevelSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(BfsLevel, PathLevelsAreExact) {
+  auto g = graph::path_graph(8);
+  Network net(g, bfs_level_factory(0));
+  net.run();
+  for (graph::NodeId v = 0; v < 8; ++v) {
+    EXPECT_EQ(net.program(v).output(), static_cast<std::int64_t>(v + 1));
+  }
+}
+
+TEST(BfsLevel, DisconnectedNodesNeverFinish) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);  // node 2 unreachable
+  NetworkConfig cfg;
+  cfg.max_rounds = 50;
+  Network net(g, bfs_level_factory(0), cfg);
+  const auto stats = net.run();
+  EXPECT_FALSE(stats.all_finished);
+  EXPECT_EQ(net.program(2).output(), 0);
+}
+
+// -------------------------------------------------------- leader election --
+
+class LeaderSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LeaderSweep, ElectsTheMaximumId) {
+  Rng rng(GetParam() + 50);
+  auto g = graph::gnp_random_connected(rng, 4 + rng.below(40), 0.1);
+  Network net(g, leader_election_factory());
+  const auto stats = net.run();
+  ASSERT_TRUE(stats.all_finished);
+  const auto leaders = net.selected_nodes();
+  ASSERT_EQ(leaders.size(), 1u);
+  EXPECT_EQ(leaders[0], g.num_nodes() - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeaderSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Leader, OneLeaderPerComponent) {
+  graph::Graph g(7);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  // 5 and 6 isolated.
+  g.add_edge(5, 6);
+  Network net(g, leader_election_factory());
+  net.run();
+  EXPECT_EQ(net.selected_nodes(),
+            (std::vector<graph::NodeId>{2, 4, 6}));
+}
+
+TEST(Leader, SingletonElectsItself) {
+  graph::Graph g(1);
+  Network net(g, leader_election_factory());
+  net.run();
+  EXPECT_EQ(net.selected_nodes(), (std::vector<graph::NodeId>{0}));
+}
+
+// ------------------------------------------------------------ aggregation --
+
+class AggregateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregateSweep, EveryNodeLearnsTheTotalWeight) {
+  Rng rng(GetParam() + 99);
+  auto g = graph::gnp_random_connected(rng, 3 + rng.below(40), 0.15, 9);
+  const graph::NodeId root = rng.below(g.num_nodes());
+  NetworkConfig cfg;
+  cfg.bits_per_edge = aggregate_required_bits(g.num_nodes());
+  Network net(g, aggregate_weight_factory(root), cfg);
+  const auto stats = net.run();
+  ASSERT_TRUE(stats.all_finished);
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(net.program(v).output(), g.total_weight()) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregateSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Aggregate, SingleNode) {
+  graph::Graph g(1);
+  g.set_weight(0, 17);
+  NetworkConfig cfg;
+  cfg.bits_per_edge = aggregate_required_bits(1);
+  Network net(g, aggregate_weight_factory(0), cfg);
+  const auto stats = net.run();
+  EXPECT_TRUE(stats.all_finished);
+  EXPECT_EQ(net.program(0).output(), 17);
+}
+
+TEST(Aggregate, StarAndPathTopologies) {
+  for (auto make : {+[](std::size_t n) { return graph::star_graph(n); },
+                    +[](std::size_t n) { return graph::path_graph(n); }}) {
+    auto g = make(12);
+    for (graph::NodeId v = 0; v < 12; ++v) {
+      g.set_weight(v, static_cast<graph::Weight>(v + 1));
+    }
+    NetworkConfig cfg;
+    cfg.bits_per_edge = aggregate_required_bits(12);
+    Network net(g, aggregate_weight_factory(3), cfg);
+    const auto stats = net.run();
+    ASSERT_TRUE(stats.all_finished);
+    for (graph::NodeId v = 0; v < 12; ++v) {
+      EXPECT_EQ(net.program(v).output(), 78);
+    }
+  }
+}
+
+TEST(Aggregate, RoundsScaleWithDiameterNotSize) {
+  // A long path: rounds ~ 3 passes over the depth; a star: constant-ish.
+  auto path = graph::path_graph(60);
+  NetworkConfig cfg;
+  cfg.bits_per_edge = aggregate_required_bits(60);
+  Network pnet(path, aggregate_weight_factory(0), cfg);
+  const auto pstats = pnet.run();
+  EXPECT_TRUE(pstats.all_finished);
+  EXPECT_LE(pstats.rounds, 4u * 60);
+
+  auto star = graph::star_graph(60);
+  Network snet(star, aggregate_weight_factory(0), cfg);
+  const auto sstats = snet.run();
+  EXPECT_TRUE(sstats.all_finished);
+  EXPECT_LE(sstats.rounds, 12u);
+}
+
+TEST(Aggregate, RejectsTooSmallBandwidth) {
+  auto g = graph::path_graph(4);
+  NetworkConfig cfg;
+  cfg.bits_per_edge = 8;
+  Network net(g, aggregate_weight_factory(0), cfg);
+  EXPECT_THROW(net.run(), InvariantError);
+}
+
+}  // namespace
+}  // namespace congestlb::congest

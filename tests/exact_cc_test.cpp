@@ -1,0 +1,123 @@
+// Exact deterministic communication complexity at toy scale: the solver
+// reproduces the textbook values that seed the whole lower-bound
+// framework, most importantly D(DISJ_k) = k + 1.
+
+#include <gtest/gtest.h>
+
+#include "comm/exact_cc.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::comm {
+namespace {
+
+TEST(ExactCc, ConstantFunctionsAreFree) {
+  CcMatrix zeros(4, std::vector<std::uint8_t>(6, 0));
+  EXPECT_EQ(exact_deterministic_cc(zeros), 0u);
+  CcMatrix ones(3, std::vector<std::uint8_t>(3, 1));
+  EXPECT_EQ(exact_deterministic_cc(ones), 0u);
+}
+
+TEST(ExactCc, SingleBitAndNeedsTwoBits) {
+  // f(x, y) = x AND y: after any single bit the live rectangle is still
+  // mixed, so D = 2.
+  CcMatrix f{{0, 0}, {0, 1}};
+  EXPECT_EQ(exact_deterministic_cc(f), 2u);
+}
+
+TEST(ExactCc, RowFunctionNeedsOneBit) {
+  // f depends only on Alice's bit: she announces it, done.
+  CcMatrix f{{0, 0}, {1, 1}};
+  EXPECT_EQ(exact_deterministic_cc(f), 1u);
+}
+
+TEST(ExactCc, DisjointnessIsKPlusOne) {
+  // THE foundational fact (exact form of the Omega(k) bound [19, 25]):
+  // deciding disjointness of k-bit sets costs exactly k + 1 deterministic
+  // bits.
+  for (std::size_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(exact_deterministic_cc(disjointness_matrix(k)), k + 1)
+        << "k=" << k;
+  }
+}
+
+TEST(ExactCc, EqualityAndGreaterThanAreLogPlusOne) {
+  EXPECT_EQ(exact_deterministic_cc(equality_matrix(2)), 2u);
+  EXPECT_EQ(exact_deterministic_cc(equality_matrix(4)), 3u);
+  EXPECT_EQ(exact_deterministic_cc(equality_matrix(8)), 4u);
+  EXPECT_EQ(exact_deterministic_cc(greater_than_matrix(4)), 3u);
+  EXPECT_EQ(exact_deterministic_cc(greater_than_matrix(8)), 4u);
+}
+
+TEST(ExactCc, TrivialUpperBoundHolds) {
+  // D(f) <= ceil(log2 rows) + 1 (Alice announces her input, Bob answers).
+  Rng rng(6);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 1 + rng.below(8), cols = 1 + rng.below(8);
+    CcMatrix f(rows, std::vector<std::uint8_t>(cols));
+    for (auto& row : f) {
+      for (auto& v : row) v = rng.chance(0.5) ? 1 : 0;
+    }
+    std::size_t bound = 1;
+    std::size_t b = 0;
+    while ((1u << b) < rows) ++b;
+    bound += b;
+    EXPECT_LE(exact_deterministic_cc(f), bound)
+        << rows << "x" << cols;
+  }
+}
+
+TEST(ExactCc, MonotoneUnderSubmatrices) {
+  // Restricting Bob's domain can only make the problem easier.
+  const auto full = disjointness_matrix(2);
+  CcMatrix restricted(full.size());
+  for (std::size_t r = 0; r < full.size(); ++r) {
+    restricted[r] = {full[r][0], full[r][1]};  // first two columns
+  }
+  EXPECT_LE(exact_deterministic_cc(restricted),
+            exact_deterministic_cc(full));
+}
+
+TEST(FoolingSet, CanonicalDisjointnessSetCertifiesK) {
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const auto f = disjointness_matrix(k);
+    const auto fs = disjointness_fooling_set(k);
+    EXPECT_EQ(fs.size(), std::size_t{1} << k);
+    EXPECT_EQ(fooling_set_lower_bound(f, fs), k) << "k=" << k;
+    // The certified bound is consistent with the exact value k + 1.
+    EXPECT_LE(fooling_set_lower_bound(f, fs), exact_deterministic_cc(f));
+  }
+}
+
+TEST(FoolingSet, EqualityDiagonalIsFooling) {
+  const auto f = equality_matrix(8);
+  std::vector<std::pair<std::size_t, std::size_t>> diag;
+  for (std::size_t i = 0; i < 8; ++i) diag.emplace_back(i, i);
+  EXPECT_EQ(fooling_set_lower_bound(f, diag), 3u);
+}
+
+TEST(FoolingSet, RejectsInvalidCertificates) {
+  const auto f = disjointness_matrix(2);
+  // Mixed diagonal values.
+  EXPECT_THROW(fooling_set_lower_bound(f, {{0, 0}, {1, 1}}), InvariantError);
+  // Two pairs inside one monochromatic rectangle: (0, y) is disjoint for
+  // every y, so {(0,1),(0,2)} does not fool.
+  EXPECT_THROW(fooling_set_lower_bound(f, {{0, 1}, {0, 2}}), InvariantError);
+  // Out of range.
+  EXPECT_THROW(fooling_set_lower_bound(f, {{9, 0}}), InvariantError);
+  EXPECT_THROW(fooling_set_lower_bound(f, {}), InvariantError);
+}
+
+TEST(ExactCc, InputValidation) {
+  EXPECT_THROW(exact_deterministic_cc(CcMatrix{}), InvariantError);
+  EXPECT_THROW(exact_deterministic_cc(CcMatrix{{0, 2}}), InvariantError);
+  EXPECT_THROW(exact_deterministic_cc(CcMatrix{{0, 1}, {0}}), InvariantError);
+  CcMatrix too_big(kMaxCcDomain + 1,
+                   std::vector<std::uint8_t>(2, 0));
+  EXPECT_THROW(exact_deterministic_cc(too_big), InvariantError);
+  EXPECT_THROW(disjointness_matrix(4), InvariantError);
+  EXPECT_THROW(equality_matrix(0), InvariantError);
+}
+
+}  // namespace
+}  // namespace congestlb::comm

@@ -1,0 +1,161 @@
+// Randomized round-trip and differential ("fuzz-style") tests: every
+// serialization layer and bit-twiddling structure is driven with random
+// inputs against an independent reference implementation.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "comm/blackboard.hpp"
+#include "congest/message.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "maxis/bitset.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb {
+namespace {
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, MessageBitPackingMatchesReference) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random field layout.
+    const std::size_t fields = 1 + rng.below(12);
+    std::vector<std::pair<std::uint64_t, std::size_t>> layout;
+    std::vector<bool> reference_bits;
+    congest::MessageWriter w;
+    for (std::size_t f = 0; f < fields; ++f) {
+      const std::size_t width = 1 + rng.below(64);
+      const std::uint64_t value =
+          width == 64 ? rng.next() : rng.below(1ULL << width);
+      layout.emplace_back(value, width);
+      w.put(value, width);
+      for (std::size_t b = 0; b < width; ++b) {
+        reference_bits.push_back((value >> b) & 1);
+      }
+    }
+    const congest::Message m = std::move(w).finish();
+    ASSERT_EQ(m.bits, reference_bits.size());
+    // Byte-level check against the reference bit string.
+    for (std::size_t b = 0; b < m.bits; ++b) {
+      const bool bit =
+          (static_cast<unsigned>(m.data[b / 8]) >> (b % 8)) & 1u;
+      ASSERT_EQ(bit, reference_bits[b]) << "bit " << b;
+    }
+    // Field-level read-back.
+    congest::MessageReader r(m);
+    for (auto [value, width] : layout) {
+      ASSERT_EQ(r.get(width), value);
+    }
+  }
+}
+
+TEST_P(FuzzSweep, EdgeListRoundTripOnRandomGraphs) {
+  Rng rng(GetParam() + 100);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto g = graph::gnp_random(rng, 1 + rng.below(60),
+                               rng.uniform() * 0.6, 9);
+    std::stringstream ss;
+    graph::write_edge_list(ss, g);
+    ASSERT_TRUE(graph::read_edge_list(ss) == g);
+  }
+}
+
+TEST_P(FuzzSweep, BitsetMatchesReferenceVectorBool) {
+  Rng rng(GetParam() + 200);
+  const std::size_t n = 1 + rng.below(300);
+  maxis::Bitset bs(n);
+  std::vector<bool> ref(n, false);
+  for (int op = 0; op < 400; ++op) {
+    const std::size_t i = rng.below(n);
+    if (rng.chance(0.5)) {
+      bs.set(i);
+      ref[i] = true;
+    } else {
+      bs.reset(i);
+      ref[i] = false;
+    }
+    if (op % 37 == 0) {
+      // Cross-check aggregate queries.
+      std::size_t ref_count = 0, ref_first = n;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (ref[j]) {
+          ++ref_count;
+          if (ref_first == n) ref_first = j;
+        }
+      }
+      ASSERT_EQ(bs.count(), ref_count);
+      ASSERT_EQ(bs.first(), ref_first);
+      ASSERT_EQ(bs.any(), ref_count > 0);
+    }
+  }
+  // Word-parallel ops against element-wise reference.
+  maxis::Bitset other(n);
+  std::vector<bool> ref_other(n, false);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (rng.chance(0.5)) {
+      other.set(j);
+      ref_other[j] = true;
+    }
+  }
+  maxis::Bitset anded = bs & other;
+  maxis::Bitset notted = bs;
+  notted.and_not(other);
+  for (std::size_t j = 0; j < n; ++j) {
+    ASSERT_EQ(anded.test(j), ref[j] && ref_other[j]);
+    ASSERT_EQ(notted.test(j), ref[j] && !ref_other[j]);
+  }
+}
+
+TEST_P(FuzzSweep, BlackboardTranscriptRoundTrip) {
+  Rng rng(GetParam() + 300);
+  const std::size_t players = 2 + rng.below(5);
+  comm::Blackboard board(players);
+  std::vector<std::pair<std::uint64_t, std::size_t>> uints;
+  std::vector<std::vector<std::uint8_t>> bitvecs;
+  std::vector<bool> is_uint;
+  std::size_t expected_bits = 0;
+  for (int e = 0; e < 60; ++e) {
+    const std::size_t who = rng.below(players);
+    if (rng.chance(0.5)) {
+      const std::size_t width = 1 + rng.below(64);
+      const std::uint64_t value =
+          width == 64 ? rng.next() : rng.below(1ULL << width);
+      board.post_uint(who, value, width);
+      uints.emplace_back(value, width);
+      is_uint.push_back(true);
+      expected_bits += width;
+    } else {
+      std::vector<std::uint8_t> bits(1 + rng.below(40));
+      for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+      board.post_bits(who, bits);
+      expected_bits += bits.size();
+      bitvecs.push_back(std::move(bits));
+      is_uint.push_back(false);
+    }
+  }
+  ASSERT_EQ(board.total_bits(), expected_bits);
+  std::size_t ui = 0, bi = 0;
+  std::size_t by_player_sum = 0;
+  for (std::size_t p = 0; p < players; ++p) by_player_sum += board.bits_by(p);
+  ASSERT_EQ(by_player_sum, expected_bits);
+  for (std::size_t e = 0; e < is_uint.size(); ++e) {
+    const auto& entry = board.transcript()[e];
+    if (is_uint[e]) {
+      ASSERT_EQ(comm::Blackboard::read_uint(entry), uints[ui].first);
+      ASSERT_EQ(entry.bits, uints[ui].second);
+      ++ui;
+    } else {
+      ASSERT_EQ(comm::Blackboard::read_bits(entry), bitvecs[bi]);
+      ++bi;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace congestlb

@@ -1,0 +1,104 @@
+// Graph generators: fixed topologies and seeded random families.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "support/expect.hpp"
+
+namespace congestlb::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(diameter(g), 4u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(path_graph(0).num_nodes(), 0u);
+  EXPECT_EQ(path_graph(1).num_edges(), 0u);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = cycle_graph(6);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(diameter(g), 3u);
+  EXPECT_THROW(cycle_graph(2), InvariantError);
+}
+
+TEST(Generators, CompleteShape) {
+  const Graph g = complete_graph(7);
+  EXPECT_EQ(g.num_edges(), 21u);
+  EXPECT_EQ(g.max_degree(), 6u);
+  EXPECT_EQ(diameter(g), 1u);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = star_graph(9);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.degree(0), 8u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_THROW(star_graph(0), InvariantError);
+}
+
+TEST(Generators, GnpIsSeededDeterministic) {
+  Rng a(5), b(5);
+  const Graph ga = gnp_random(a, 30, 0.3, 4);
+  const Graph gb = gnp_random(b, 30, 0.3, 4);
+  EXPECT_TRUE(ga == gb);
+}
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  Rng rng(9);
+  const std::size_t n = 60;
+  const double p = 0.25;
+  double total = 0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) {
+    total += static_cast<double>(gnp_random(rng, n, p).num_edges());
+  }
+  const double expected = p * n * (n - 1) / 2;
+  EXPECT_NEAR(total / reps, expected, expected * 0.12);
+}
+
+TEST(Generators, GnpExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(gnp_random(rng, 10, 0.0).num_edges(), 0u);
+  EXPECT_EQ(gnp_random(rng, 10, 1.0).num_edges(), 45u);
+  EXPECT_THROW(gnp_random(rng, 5, 0.5, 0), InvariantError);
+}
+
+TEST(Generators, GnpWeightsInRange) {
+  Rng rng(2);
+  const Graph g = gnp_random(rng, 50, 0.1, 6);
+  bool saw_heavy = false;
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_GE(g.weight(v), 1);
+    EXPECT_LE(g.weight(v), 6);
+    saw_heavy = saw_heavy || g.weight(v) > 1;
+  }
+  EXPECT_TRUE(saw_heavy);
+}
+
+TEST(Generators, ConnectedVariantIsConnected) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(is_connected(gnp_random_connected(rng, 40, 0.02)));
+  }
+}
+
+TEST(Generators, BipartiteHasNoSideEdges) {
+  Rng rng(4);
+  const Graph g = random_bipartite(rng, 8, 12, 0.5);
+  for (NodeId u = 0; u < 8; ++u) {
+    for (NodeId v = u + 1; v < 8; ++v) EXPECT_FALSE(g.has_edge(u, v));
+  }
+  for (NodeId u = 8; u < 20; ++u) {
+    for (NodeId v = u + 1; v < 20; ++v) EXPECT_FALSE(g.has_edge(u, v));
+  }
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace congestlb::graph

@@ -1,0 +1,231 @@
+// Tests for the weighted graph substrate: construction, adjacency,
+// weights, set operations, subgraphs, complement.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::graph {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.total_weight(), 0);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(Graph, DefaultWeightsAreOne) {
+  Graph g(5);
+  EXPECT_EQ(g.total_weight(), 5);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(g.weight(v), 1);
+}
+
+TEST(Graph, CustomDefaultWeight) {
+  Graph g(4, 3);
+  EXPECT_EQ(g.total_weight(), 12);
+}
+
+TEST(Graph, AddNodeReturnsDenseIds) {
+  Graph g(2);
+  EXPECT_EQ(g.add_node(7, "x"), 2u);
+  EXPECT_EQ(g.add_node(), 3u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.weight(2), 7);
+  EXPECT_EQ(g.label(2), "x");
+}
+
+TEST(Graph, AddEdgeIsSymmetricAndDeduplicated) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_FALSE(g.add_edge(1, 0));  // duplicate, reversed
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), InvariantError);
+}
+
+TEST(Graph, OutOfRangeRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), InvariantError);
+  EXPECT_THROW(g.weight(5), InvariantError);
+  EXPECT_THROW(g.neighbors(2), InvariantError);
+  EXPECT_THROW(g.set_weight(9, 1), InvariantError);
+}
+
+TEST(Graph, NeighborsSorted) {
+  Graph g(6);
+  g.add_edge(3, 5);
+  g.add_edge(3, 0);
+  g.add_edge(3, 4);
+  g.add_edge(3, 1);
+  const auto& nb = g.neighbors(3);
+  EXPECT_TRUE(std::is_sorted(nb.begin(), nb.end()));
+  EXPECT_EQ(nb.size(), 4u);
+  EXPECT_EQ(g.degree(3), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(Graph, AddClique) {
+  Graph g(5);
+  std::vector<NodeId> c{0, 2, 4};
+  g.add_clique(c);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(2, 4));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Graph, AddBiclique) {
+  Graph g(5);
+  std::vector<NodeId> a{0, 1}, b{2, 3, 4};
+  g.add_biclique(a, b);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (NodeId u : a) {
+    for (NodeId v : b) EXPECT_TRUE(g.has_edge(u, v));
+  }
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(2, 3));
+}
+
+TEST(Graph, WeightOfSums) {
+  Graph g(4);
+  g.set_weight(1, 10);
+  g.set_weight(3, 5);
+  std::vector<NodeId> s{1, 3};
+  EXPECT_EQ(g.weight_of(s), 15);
+  EXPECT_EQ(g.total_weight(), 17);
+}
+
+TEST(Graph, IndependentSetDetection) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  EXPECT_TRUE(g.is_independent_set(std::vector<NodeId>{0, 2, 3}));
+  EXPECT_TRUE(g.is_independent_set(std::vector<NodeId>{}));
+  EXPECT_TRUE(g.is_independent_set(std::vector<NodeId>{4}));
+  EXPECT_FALSE(g.is_independent_set(std::vector<NodeId>{0, 1}));
+  EXPECT_FALSE(g.is_independent_set(std::vector<NodeId>{0, 2, 4, 3}));
+}
+
+TEST(Graph, IndependentSetRejectsDuplicates) {
+  Graph g(3);
+  EXPECT_THROW(g.is_independent_set(std::vector<NodeId>{1, 1}),
+               InvariantError);
+}
+
+TEST(Graph, InducedSubgraphKeepsStructure) {
+  Graph g(6);
+  g.set_weight(2, 9);
+  g.set_label(2, "two");
+  g.add_edge(0, 2);
+  g.add_edge(2, 4);
+  g.add_edge(4, 5);
+  g.add_edge(1, 3);
+  const std::vector<NodeId> keep{0, 2, 4};
+  Graph sub = g.induced_subgraph(keep);
+  ASSERT_EQ(sub.num_nodes(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_TRUE(sub.has_edge(0, 1));  // 0-2
+  EXPECT_TRUE(sub.has_edge(1, 2));  // 2-4
+  EXPECT_FALSE(sub.has_edge(0, 2));
+  EXPECT_EQ(sub.weight(1), 9);
+  EXPECT_EQ(sub.label(1), "two");
+}
+
+TEST(Graph, InducedSubgraphRespectsOrder) {
+  Graph g(4);
+  g.add_edge(0, 3);
+  Graph sub = g.induced_subgraph(std::vector<NodeId>{3, 0});
+  EXPECT_TRUE(sub.has_edge(0, 1));
+}
+
+TEST(Graph, InducedSubgraphRejectsDuplicates) {
+  Graph g(3);
+  EXPECT_THROW(g.induced_subgraph(std::vector<NodeId>{0, 0}), InvariantError);
+}
+
+TEST(Graph, ComplementInvolution) {
+  Rng rng(5);
+  Graph g(12);
+  for (NodeId u = 0; u < 12; ++u) {
+    g.set_weight(u, static_cast<Weight>(1 + rng.below(5)));
+    for (NodeId v = u + 1; v < 12; ++v) {
+      if (rng.chance(0.4)) g.add_edge(u, v);
+    }
+  }
+  const Graph cc = g.complement().complement();
+  EXPECT_TRUE(cc == g);
+}
+
+TEST(Graph, ComplementEdgeCount) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const Graph c = g.complement();
+  EXPECT_EQ(c.num_edges(), 5u * 4 / 2 - 2);
+  EXPECT_FALSE(c.has_edge(0, 1));
+  EXPECT_TRUE(c.has_edge(0, 2));
+}
+
+TEST(Graph, EqualityIgnoresLabels) {
+  Graph a(2), b(2);
+  a.add_edge(0, 1);
+  b.add_edge(0, 1);
+  a.set_label(0, "foo");
+  EXPECT_TRUE(a == b);
+  b.set_weight(0, 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Graph, EdgeListSortedAndComplete) {
+  Graph g(5);
+  g.add_edge(4, 0);
+  g.add_edge(2, 1);
+  g.add_edge(0, 1);
+  const auto edges = edge_list(g);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  for (auto [u, v] : edges) EXPECT_LT(u, v);
+}
+
+// Property sweep: random graphs keep degree/edge-count invariants.
+class GraphRandomProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphRandomProperty, HandshakeLemmaAndAdjacencyConsistency) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(40);
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(0.3)) g.add_edge(u, v);
+    }
+  }
+  std::size_t degree_sum = 0;
+  for (NodeId v = 0; v < n; ++v) degree_sum += g.degree(v);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId nb : g.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(nb, v));
+    }
+  }
+  EXPECT_EQ(edge_list(g).size(), g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphRandomProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace congestlb::graph

@@ -1,0 +1,144 @@
+// Local-search MaxIS improvement: dominance over the start, 2-swap
+// optimality consequences, interaction with greedy and exact solvers, and
+// the transcript recorder (bundled here: both are auxiliary quality tools).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "congest/algorithms/greedy_mis.hpp"
+#include "congest/transcript.hpp"
+#include "graph/generators.hpp"
+#include "maxis/brute_force.hpp"
+#include "maxis/greedy.hpp"
+#include "maxis/local_search.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::maxis {
+namespace {
+
+class LocalSearchSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchSweep, DominatesStartAndStaysBelowOpt) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    auto g = graph::gnp_random(rng, 4 + rng.below(16), 0.3, 7);
+    const auto greedy = solve_greedy_max_weight(g);
+    const auto improved = improve_local_search(g, greedy.nodes);
+    EXPECT_GE(improved.solution.weight, greedy.weight);
+    EXPECT_LE(improved.solution.weight, solve_brute_force(g).weight);
+    EXPECT_TRUE(g.is_independent_set(improved.solution.nodes));
+  }
+}
+
+TEST_P(LocalSearchSweep, GreedyPlusLocalSearchBeatsPlainGreedyOnAverage) {
+  Rng rng(GetParam() + 10);
+  graph::Weight plain_total = 0, improved_total = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto g = graph::gnp_random(rng, 30, 0.25, 7);
+    plain_total += solve_greedy_weight_degree(g).weight;
+    improved_total += solve_greedy_plus_local_search(g).weight;
+  }
+  EXPECT_GE(improved_total, plain_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(LocalSearch, AddsFreeVertices) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  // Start from the empty IS: local search must at least fill in a maximal
+  // set.
+  const auto result = improve_local_search(g, {});
+  EXPECT_GE(result.solution.nodes.size(), 3u);  // {0 or 1} + {2, 3}
+  EXPECT_GT(result.moves_applied, 0u);
+}
+
+TEST(LocalSearch, OneTwoSwapFixesTheStarTrap) {
+  // Star with center weight 3, five leaves weight 2: greedy-by-weight takes
+  // the center (3); a (1,2)-swap upgrades to two leaves (4), further adds
+  // reach all leaves (10).
+  auto g = graph::star_graph(6);
+  g.set_weight(0, 3);
+  for (graph::NodeId v = 1; v < 6; ++v) g.set_weight(v, 2);
+  const auto result = improve_local_search(g, {0});
+  EXPECT_EQ(result.solution.weight, 10);
+}
+
+TEST(LocalSearch, OneOneSwapUpgradesWeight) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  g.set_weight(0, 1);
+  g.set_weight(1, 5);
+  const auto result = improve_local_search(g, {0});
+  EXPECT_EQ(result.solution.nodes, (std::vector<NodeId>{1}));
+}
+
+TEST(LocalSearch, RejectsNonIndependentStart) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(improve_local_search(g, {0, 1}), InvariantError);
+}
+
+TEST(LocalSearch, MoveBudgetEnforced) {
+  Rng rng(4);
+  auto g = graph::gnp_random(rng, 40, 0.1, 5);
+  EXPECT_THROW(improve_local_search(g, {}, /*max_moves=*/1), InvariantError);
+}
+
+TEST(LocalSearch, FixpointOfExactSolutionIsItself) {
+  Rng rng(8);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto g = graph::gnp_random(rng, 4 + rng.below(14), 0.35, 6);
+    const auto opt = solve_brute_force(g);
+    const auto result = improve_local_search(g, opt.nodes);
+    EXPECT_EQ(result.solution.weight, opt.weight);
+    EXPECT_EQ(result.moves_applied, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace congestlb::maxis
+
+namespace congestlb::congest {
+namespace {
+
+TEST(Transcript, RecordsEveryMessageAndExportsCsv) {
+  Rng rng(5);
+  auto g = graph::gnp_random(rng, 20, 0.2);
+  TranscriptRecorder recorder;
+  NetworkConfig cfg;
+  cfg.on_message = recorder.observer();
+  Network net(g, greedy_mis_factory(), cfg);
+  const auto stats = net.run();
+  EXPECT_EQ(recorder.num_messages(), stats.messages_sent);
+  EXPECT_EQ(recorder.total_bits(), stats.bits_sent);
+
+  const auto per_round = recorder.bits_per_round();
+  std::size_t sum = 0;
+  for (auto b : per_round) sum += b;
+  EXPECT_EQ(sum, stats.bits_sent);
+
+  std::ostringstream os;
+  recorder.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("round,from,to,bits"), std::string::npos);
+  // Header + one line per message.
+  EXPECT_EQ(static_cast<std::size_t>(
+                std::count(csv.begin(), csv.end(), '\n')),
+            recorder.num_messages() + 1);
+}
+
+TEST(Transcript, EmptyRunProducesEmptyLog) {
+  TranscriptRecorder recorder;
+  EXPECT_EQ(recorder.num_messages(), 0u);
+  EXPECT_TRUE(recorder.bits_per_round().empty());
+  std::ostringstream os;
+  recorder.write_csv(os);
+  EXPECT_EQ(os.str(), "round,from,to,bits\n");
+}
+
+}  // namespace
+}  // namespace congestlb::congest

@@ -1,0 +1,92 @@
+// Gadget parameter selection: paper-regime formulas, capacity repair,
+// separation helper, custom code injection.
+
+#include <gtest/gtest.h>
+
+#include "codes/trivial_codes.hpp"
+#include "lowerbound/params.hpp"
+#include "support/expect.hpp"
+#include "support/math.hpp"
+
+namespace congestlb::lb {
+namespace {
+
+TEST(GadgetParams, FromLAlphaDefaultsToPaperK) {
+  const auto p = GadgetParams::from_l_alpha(2, 1);
+  EXPECT_EQ(p.ell, 2u);
+  EXPECT_EQ(p.alpha, 1u);
+  EXPECT_EQ(p.k, 3u);  // (ell+alpha)^alpha = 3
+  EXPECT_EQ(p.num_positions(), 3u);
+  EXPECT_EQ(p.clique_size(), 3u);  // 3 is prime already
+  EXPECT_EQ(p.nodes_per_copy(), 3u + 3 * 3);
+}
+
+TEST(GadgetParams, ExplicitKHonored) {
+  const auto p = GadgetParams::from_l_alpha(4, 2, 20);
+  EXPECT_EQ(p.k, 20u);
+}
+
+TEST(GadgetParams, CompositeAlphabetRoundsUpToPrime) {
+  const auto p = GadgetParams::from_l_alpha(5, 1);  // ell+alpha = 6 -> p = 7
+  EXPECT_EQ(p.clique_size(), 7u);
+  EXPECT_EQ(p.num_positions(), 6u);  // clique *count* stays ell+alpha
+}
+
+TEST(GadgetParams, KCapacityEnforced) {
+  // alpha=1, ell=2: capacity = p^1 = 3 messages.
+  EXPECT_THROW(GadgetParams::from_l_alpha(2, 1, 4), InvariantError);
+  EXPECT_NO_THROW(GadgetParams::from_l_alpha(2, 1, 3));
+  EXPECT_THROW(GadgetParams::from_l_alpha(2, 1, 1), InvariantError);  // k >= 2
+}
+
+TEST(GadgetParams, FromKCoversRequestedUniverse) {
+  for (std::size_t k : {2, 5, 16, 64, 256, 1000, 5000}) {
+    const auto p = GadgetParams::from_k(k);
+    EXPECT_EQ(p.k, k);
+    EXPECT_LE(p.k, p.code->num_messages());
+    EXPECT_GE(p.code->min_distance(), p.ell);
+  }
+}
+
+TEST(GadgetParams, FromKTracksPaperRegime) {
+  // For large k the selected (ell, alpha) should be near the paper's
+  // formulas (the repair loop only bumps ell when rounding undershoots).
+  const std::size_t k = 1 << 16;
+  const auto p = GadgetParams::from_k(k);
+  const auto paper = paper_ell_alpha(k);
+  EXPECT_EQ(p.alpha, paper.alpha);
+  EXPECT_GE(p.ell, paper.ell);
+  EXPECT_LE(p.ell, paper.ell + 4);
+}
+
+TEST(GadgetParams, ForLinearSeparationGivesGap) {
+  for (std::size_t t : {2, 3, 4, 6}) {
+    const auto p = GadgetParams::for_linear_separation(t);
+    // Claims 3 & 5 separate iff t(2l+a) > (t+1)l + a t^2, i.e. l > a t
+    // (for t > 2; t = 2 uses the tighter Claim 2 bound).
+    EXPECT_GT(p.ell, p.alpha * t);
+  }
+  EXPECT_THROW(GadgetParams::for_linear_separation(1), InvariantError);
+}
+
+TEST(GadgetParams, WithCodeAcceptsMatchingShape) {
+  auto weak = std::make_shared<codes::PaddingCode>(2, 7, 9);  // L=2, M=7
+  const auto p = GadgetParams::with_code(5, 2, 30, weak);
+  EXPECT_EQ(p.clique_size(), 9u);
+  EXPECT_EQ(p.num_positions(), 7u);
+  EXPECT_EQ(p.code->min_distance(), 1u);  // deliberately weak
+}
+
+TEST(GadgetParams, WithCodeRejectsWrongShape) {
+  auto code = std::make_shared<codes::PaddingCode>(2, 7, 9);
+  // ell+alpha != codeword length
+  EXPECT_THROW(GadgetParams::with_code(6, 2, 30, code), InvariantError);
+  // alpha != message length
+  EXPECT_THROW(GadgetParams::with_code(6, 1, 30, code), InvariantError);
+  EXPECT_THROW(GadgetParams::with_code(5, 2, 30, nullptr), InvariantError);
+  // k over capacity 9^2 = 81
+  EXPECT_THROW(GadgetParams::with_code(5, 2, 82, code), InvariantError);
+}
+
+}  // namespace
+}  // namespace congestlb::lb

@@ -1,0 +1,159 @@
+// Maximum bipartite matching: Hopcroft-Karp correctness against a
+// brute-force oracle, greedy 1/2-approximation, and validation errors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+#include "graph/matching.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::graph {
+namespace {
+
+/// Brute-force maximum matching size for small explicit bipartite graphs:
+/// recursive augmenting over left vertices.
+std::size_t brute_matching(std::size_t n_left,
+                           const std::vector<std::vector<std::size_t>>& adj,
+                           std::size_t i, std::vector<bool>& used) {
+  if (i == n_left) return 0;
+  // Skip left vertex i.
+  std::size_t best = brute_matching(n_left, adj, i + 1, used);
+  for (std::size_t r : adj[i]) {
+    if (!used[r]) {
+      used[r] = true;
+      best = std::max(best, 1 + brute_matching(n_left, adj, i + 1, used));
+      used[r] = false;
+    }
+  }
+  return best;
+}
+
+void check_matching_valid(const Matching& m, std::size_t n_left,
+                          std::size_t n_right,
+                          const std::vector<std::vector<std::size_t>>& adj) {
+  std::vector<bool> left_used(n_left, false), right_used(n_right, false);
+  for (auto [l, r] : m.pairs) {
+    ASSERT_LT(l, n_left);
+    ASSERT_LT(r, n_right);
+    EXPECT_FALSE(left_used[l]) << "left vertex matched twice";
+    EXPECT_FALSE(right_used[r]) << "right vertex matched twice";
+    left_used[l] = true;
+    right_used[r] = true;
+    EXPECT_NE(std::find(adj[l].begin(), adj[l].end(), r), adj[l].end())
+        << "matched pair is not an edge";
+  }
+}
+
+TEST(Matching, EmptyGraph) {
+  const auto m = max_bipartite_matching(0, 0, {});
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matching, PerfectMatchingOnIdentity) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t i = 0; i < 6; ++i) edges.emplace_back(i, i);
+  const auto m = max_bipartite_matching(6, 6, edges);
+  EXPECT_EQ(m.size(), 6u);
+}
+
+TEST(Matching, StarHasMatchingOne) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t r = 0; r < 5; ++r) edges.emplace_back(0, r);
+  const auto m = max_bipartite_matching(1, 5, edges);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(Matching, AntiMatchingBetweenTwoCliquePositions) {
+  // The Figure-2 pattern: K_{p,p} minus a perfect matching has a perfect
+  // matching for p >= 2 (it is (p-1)-regular bipartite, p-1 >= 1).
+  for (std::size_t p : {2, 3, 5, 8}) {
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t a = 0; a < p; ++a) {
+      for (std::size_t b = 0; b < p; ++b) {
+        if (a != b) edges.emplace_back(a, b);
+      }
+    }
+    const auto m = max_bipartite_matching(p, p, edges);
+    EXPECT_EQ(m.size(), p) << "p=" << p;
+  }
+}
+
+TEST(Matching, RejectsOutOfRangeEdge) {
+  std::vector<std::pair<std::size_t, std::size_t>> edges{{0, 3}};
+  EXPECT_THROW(max_bipartite_matching(1, 2, edges), InvariantError);
+}
+
+TEST(MatchingOnGraph, UsesOnlyCrossEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);  // inside left: ignored
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  const std::vector<NodeId> left{0, 1}, right{2, 3};
+  const auto m = max_bipartite_matching(g, left, right);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(MatchingOnGraph, RejectsOverlappingSides) {
+  Graph g(3);
+  const std::vector<NodeId> left{0, 1}, right{1, 2};
+  EXPECT_THROW(max_bipartite_matching(g, left, right), InvariantError);
+}
+
+TEST(MatchingOnGraph, RejectsDuplicateInSide) {
+  Graph g(3);
+  const std::vector<NodeId> left{0, 0}, right{1};
+  EXPECT_THROW(max_bipartite_matching(g, left, right), InvariantError);
+}
+
+TEST(MatchingOnGraph, GreedyAtLeastHalfOfMaximum) {
+  Rng rng(17);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t nl = 1 + rng.below(8), nr = 1 + rng.below(8);
+    Graph g(nl + nr);
+    for (std::size_t a = 0; a < nl; ++a) {
+      for (std::size_t b = 0; b < nr; ++b) {
+        if (rng.chance(0.35)) g.add_edge(a, nl + b);
+      }
+    }
+    std::vector<NodeId> left, right;
+    for (std::size_t a = 0; a < nl; ++a) left.push_back(a);
+    for (std::size_t b = 0; b < nr; ++b) right.push_back(nl + b);
+    const auto mx = max_bipartite_matching(g, left, right);
+    const auto gr = greedy_matching(g, left, right);
+    EXPECT_LE(gr.size(), mx.size());
+    EXPECT_GE(2 * gr.size(), mx.size());
+  }
+}
+
+// Property sweep: Hopcroft-Karp equals brute force on random instances.
+class MatchingVsBrute : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingVsBrute, AgreesWithExhaustiveSearch) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t nl = 1 + rng.below(7), nr = 1 + rng.below(7);
+    std::vector<std::vector<std::size_t>> adj(nl);
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    for (std::size_t a = 0; a < nl; ++a) {
+      for (std::size_t b = 0; b < nr; ++b) {
+        if (rng.chance(0.4)) {
+          adj[a].push_back(b);
+          edges.emplace_back(a, b);
+        }
+      }
+    }
+    const auto m = max_bipartite_matching(nl, nr, edges);
+    check_matching_valid(m, nl, nr, adj);
+    std::vector<bool> used(nr, false);
+    EXPECT_EQ(m.size(), brute_matching(nl, adj, 0, used));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingVsBrute,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace congestlb::graph

@@ -1,0 +1,125 @@
+// Remark 1: the weighted-to-unweighted expansion preserves MaxIS exactly
+// while multiplying the node count by Theta(max weight).
+
+#include <gtest/gtest.h>
+
+#include "comm/instances.hpp"
+#include "lowerbound/linear_family.hpp"
+#include "lowerbound/unweighted.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "maxis/brute_force.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::lb {
+namespace {
+
+TEST(Unweighted, SingletonHeavyNodeBecomesIndependentCloud) {
+  graph::Graph g(1);
+  g.set_weight(0, 5);
+  const auto ex = to_unweighted(g);
+  EXPECT_EQ(ex.graph.num_nodes(), 5u);
+  EXPECT_EQ(ex.graph.num_edges(), 0u);
+  EXPECT_EQ(ex.copies_of[0].size(), 5u);
+}
+
+TEST(Unweighted, UnitHeavyEdgeBecomesStar) {
+  graph::Graph g(2);
+  g.set_weight(1, 3);
+  g.add_edge(0, 1);
+  const auto ex = to_unweighted(g);
+  EXPECT_EQ(ex.graph.num_nodes(), 4u);
+  EXPECT_EQ(ex.graph.num_edges(), 3u);  // unit node to all 3 copies
+  for (graph::NodeId c : ex.copies_of[1]) {
+    EXPECT_TRUE(ex.graph.has_edge(ex.copies_of[0][0], c));
+  }
+}
+
+TEST(Unweighted, HeavyHeavyEdgeBecomesBiclique) {
+  graph::Graph g(2);
+  g.set_weight(0, 2);
+  g.set_weight(1, 3);
+  g.add_edge(0, 1);
+  const auto ex = to_unweighted(g);
+  EXPECT_EQ(ex.graph.num_nodes(), 5u);
+  EXPECT_EQ(ex.graph.num_edges(), 6u);
+  // I(0) itself stays independent (Remark 1: independent set, not clique).
+  EXPECT_TRUE(ex.graph.is_independent_set(ex.copies_of[0]));
+  EXPECT_TRUE(ex.graph.is_independent_set(ex.copies_of[1]));
+}
+
+TEST(Unweighted, RejectsNonPositiveWeights) {
+  graph::Graph g(1);
+  g.set_weight(0, 0);
+  EXPECT_THROW(to_unweighted(g), InvariantError);
+}
+
+TEST(Unweighted, ExpandSetMapsWitnesses) {
+  graph::Graph g(3);
+  g.set_weight(0, 2);
+  g.add_edge(1, 2);
+  const auto ex = to_unweighted(g);
+  const auto expanded = ex.expand_set({0, 1});
+  EXPECT_EQ(expanded.size(), 3u);  // two copies of 0, one of 1
+  EXPECT_TRUE(ex.graph.is_independent_set(expanded));
+  EXPECT_THROW(ex.expand_set({9}), InvariantError);
+}
+
+class UnweightedOptPreservation
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnweightedOptPreservation, OptIsExactlyPreserved) {
+  Rng rng(GetParam());
+  const std::size_t n = 2 + rng.below(9);
+  graph::Graph g(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    g.set_weight(v, static_cast<graph::Weight>(1 + rng.below(4)));
+  }
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(0.4)) g.add_edge(u, v);
+    }
+  }
+  const auto ex = to_unweighted(g);
+  ASSERT_LE(ex.graph.num_nodes(), maxis::kBruteForceLimit);
+  const auto weighted_opt = maxis::solve_brute_force(g).weight;
+  const auto unweighted_opt = maxis::solve_brute_force(ex.graph).weight;
+  EXPECT_EQ(weighted_opt, unweighted_opt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnweightedOptPreservation,
+                         ::testing::Values(61, 62, 63, 64, 65, 66, 67, 68));
+
+TEST(Unweighted, LinearGadgetGapSurvivesExpansion) {
+  // Remark 1 applied to an actual hard instance: the YES/NO gap of the
+  // weighted G_xbar carries over verbatim to the unweighted expansion.
+  const auto p = GadgetParams::from_l_alpha(3, 1, 4);
+  const LinearConstruction c(p, 2);
+  Rng rng(5);
+  const auto yes = comm::make_uniquely_intersecting(4, 2, rng, 0.3);
+  const auto no = comm::make_pairwise_disjoint(4, 2, rng, 0.3);
+  const auto gy = c.instantiate(yes);
+  const auto gn = c.instantiate(no);
+  const auto ey = to_unweighted(gy);
+  const auto en = to_unweighted(gn);
+  EXPECT_EQ(maxis::solve_exact(ey.graph).weight,
+            maxis::solve_exact(gy).weight);
+  EXPECT_EQ(maxis::solve_exact(en.graph).weight,
+            maxis::solve_exact(gn).weight);
+  // Node count grows to Theta(k * ell): heavy nodes expand ell-fold.
+  EXPECT_GT(ey.graph.num_nodes(), gy.num_nodes());
+}
+
+TEST(Unweighted, NodeCountIsTotalWeight) {
+  Rng rng(70);
+  graph::Graph g(6);
+  for (graph::NodeId v = 0; v < 6; ++v) {
+    g.set_weight(v, static_cast<graph::Weight>(1 + rng.below(7)));
+  }
+  const auto ex = to_unweighted(g);
+  EXPECT_EQ(static_cast<graph::Weight>(ex.graph.num_nodes()),
+            g.total_weight());
+}
+
+}  // namespace
+}  // namespace congestlb::lb

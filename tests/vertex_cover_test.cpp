@@ -1,0 +1,113 @@
+// Minimum weighted vertex cover: complement duality with MaxIS, the
+// local-ratio 2-approximation, the matching 2-approximation, and verifier
+// rejections.
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "maxis/brute_force.hpp"
+#include "maxis/vertex_cover.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::maxis {
+namespace {
+
+TEST(VertexCover, IsVertexCoverBasics) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(is_vertex_cover(g, std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(is_vertex_cover(g, std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_FALSE(is_vertex_cover(g, std::vector<NodeId>{0, 3}));  // misses 1-2
+  EXPECT_FALSE(is_vertex_cover(g, std::vector<NodeId>{}));
+  EXPECT_TRUE(is_vertex_cover(graph::Graph(3), std::vector<NodeId>{}));
+  EXPECT_THROW(is_vertex_cover(g, std::vector<NodeId>{9}), InvariantError);
+}
+
+TEST(VertexCover, CheckedCoverValidatesAndDeduplicates) {
+  graph::Graph g(3);
+  g.add_edge(0, 1);
+  g.set_weight(1, 5);
+  const auto sol = checked_cover(g, {1, 1});
+  EXPECT_EQ(sol.nodes, (std::vector<NodeId>{1}));
+  EXPECT_EQ(sol.weight, 5);
+  EXPECT_THROW(checked_cover(g, {2}), InvariantError);
+}
+
+TEST(VertexCover, ComplementOfIndependentSet) {
+  graph::Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto vc = cover_from_independent_set(g, std::vector<NodeId>{0, 2, 4});
+  EXPECT_EQ(vc.nodes, (std::vector<NodeId>{1, 3}));
+  EXPECT_THROW(
+      cover_from_independent_set(g, std::vector<NodeId>{0, 1}),
+      InvariantError);
+}
+
+class VcDuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VcDuality, ExactVcEqualsTotalMinusMaxIs) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    auto g = graph::gnp_random(rng, 2 + rng.below(16), 0.35, 6);
+    const auto vc = solve_vertex_cover_exact(g);
+    const auto is = solve_brute_force(g);
+    EXPECT_EQ(vc.weight, g.total_weight() - is.weight);
+    EXPECT_TRUE(is_vertex_cover(g, vc.nodes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VcDuality, ::testing::Values(71, 72, 73, 74));
+
+class VcApproximations : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VcApproximations, LocalRatioWithinFactorTwo) {
+  Rng rng(GetParam() + 10);
+  for (int trial = 0; trial < 15; ++trial) {
+    auto g = graph::gnp_random(rng, 2 + rng.below(16), 0.35, 6);
+    const auto approx = solve_vertex_cover_local_ratio(g);
+    const auto exact = solve_vertex_cover_exact(g);
+    EXPECT_TRUE(is_vertex_cover(g, approx.nodes));
+    EXPECT_LE(approx.weight, 2 * exact.weight);
+    EXPECT_GE(approx.weight, exact.weight);
+  }
+}
+
+TEST_P(VcApproximations, MatchingCoverWithinFactorTwoUnweighted) {
+  Rng rng(GetParam() + 20);
+  for (int trial = 0; trial < 15; ++trial) {
+    auto g = graph::gnp_random(rng, 2 + rng.below(16), 0.35, 1);
+    const auto approx = solve_vertex_cover_matching(g);
+    const auto exact = solve_vertex_cover_exact(g);
+    EXPECT_TRUE(is_vertex_cover(g, approx.nodes));
+    EXPECT_LE(approx.weight, 2 * exact.weight);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VcApproximations,
+                         ::testing::Values(81, 82, 83, 84));
+
+TEST(VertexCover, LocalRatioTightOnStar) {
+  // Star with a heavy center: local ratio pays the leaves, exact takes the
+  // center — the classic factor-2 witness when center weight = sum of
+  // leaf weights.
+  auto g = graph::star_graph(5);
+  g.set_weight(0, 4);
+  const auto exact = solve_vertex_cover_exact(g);
+  EXPECT_EQ(exact.weight, 4);
+  const auto approx = solve_vertex_cover_local_ratio(g);
+  EXPECT_LE(approx.weight, 8);
+}
+
+TEST(VertexCover, EdgelessGraphNeedsNothing) {
+  graph::Graph g(6, 3);
+  EXPECT_EQ(solve_vertex_cover_exact(g).weight, 0);
+  EXPECT_EQ(solve_vertex_cover_local_ratio(g).nodes.size(), 0u);
+}
+
+}  // namespace
+}  // namespace congestlb::maxis

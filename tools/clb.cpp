@@ -1,0 +1,202 @@
+// clb — command-line front end for the congestlb library.
+//
+//   clb bounds <eps> <n>            Theorem 1/2 round bounds
+//   clb gap <t> [ell] [alpha] [k]   gap predicate of the linear family
+//   clb solve <graph-file>          exact MaxIS + min VC of an edge-list file
+//   clb simulate <t> <seed> <yes|no> run the Theorem-5 reduction once
+//   clb protocols <k> <t>           disjointness protocol costs vs CKS bound
+//
+// Graph files use the graph/io.hpp edge-list format:
+//   n <nodes> / w <id> <weight> / e <u> <v>
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "comm/lower_bound.hpp"
+#include "comm/protocols.hpp"
+#include "congest/algorithms/universal_maxis.hpp"
+#include "graph/io.hpp"
+#include "lowerbound/framework.hpp"
+#include "lowerbound/structured_solver.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "maxis/vertex_cover.hpp"
+#include "sim/reduction.hpp"
+#include "support/table.hpp"
+
+namespace clb = congestlb;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  clb bounds <eps> <n>\n"
+               "  clb gap <t> [ell] [alpha] [k]\n"
+               "  clb solve <graph-file>\n"
+               "  clb simulate <t> <seed> <yes|no>\n"
+               "  clb protocols <k> <t>\n";
+  return 2;
+}
+
+int cmd_bounds(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const double eps = std::strtod(argv[0], nullptr);
+  const std::size_t n = std::strtoull(argv[1], nullptr, 10);
+  clb::Table t({"theorem", "approximation", "players t", "CC bits", "cut",
+                "rounds >="});
+  if (eps > 0 && eps < 0.5) {
+    const auto rb = clb::lb::theorem1_bound(n, eps);
+    t.row("1", "1/2 + " + clb::fmt_double(eps, 3),
+          clb::lb::linear_players_for_epsilon(eps),
+          clb::fmt_double(rb.cc_bits, 0), rb.cut_edges,
+          clb::fmt_double(rb.rounds, 6));
+  }
+  if (eps > 0 && eps < 0.25) {
+    const auto rb = clb::lb::theorem2_bound(n, eps);
+    t.row("2", "3/4 + " + clb::fmt_double(eps, 3),
+          clb::lb::quadratic_players_for_epsilon(eps),
+          clb::fmt_double(rb.cc_bits, 0), rb.cut_edges,
+          clb::fmt_double(rb.rounds, 3));
+  }
+  if (t.num_rows() == 0) {
+    std::cerr << "eps out of range: Theorem 1 needs (0, 1/2), Theorem 2 "
+                 "(0, 1/4)\n";
+    return 1;
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_gap(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::size_t t = std::strtoull(argv[0], nullptr, 10);
+  clb::lb::GadgetParams p =
+      argc >= 3
+          ? clb::lb::GadgetParams::from_l_alpha(
+                std::strtoull(argv[1], nullptr, 10),
+                std::strtoull(argv[2], nullptr, 10),
+                argc >= 4 ? std::optional<std::size_t>(
+                                std::strtoull(argv[3], nullptr, 10))
+                          : std::nullopt)
+          : clb::lb::GadgetParams::for_linear_separation(t);
+  const clb::lb::LinearConstruction c(p, t);
+  clb::Table tbl({"field", "value"});
+  tbl.row("players t", t);
+  tbl.row("ell / alpha / k", std::to_string(p.ell) + " / " +
+                                 std::to_string(p.alpha) + " / " +
+                                 std::to_string(p.k));
+  tbl.row("code", p.code->name());
+  tbl.row("nodes", c.num_nodes());
+  tbl.row("edges", c.fixed_graph().num_edges());
+  tbl.row("cut edges", c.cut_size());
+  tbl.row("YES weight (Claim 3)", c.yes_weight());
+  tbl.row("NO bound (Claim 5)", c.no_bound());
+  tbl.row("separated", c.separated());
+  tbl.row("hardness ratio", clb::fmt_double(c.hardness_ratio()));
+  tbl.print(std::cout);
+  return 0;
+}
+
+int cmd_solve(int argc, char** argv) {
+  if (argc < 1) return usage();
+  std::ifstream in(argv[0]);
+  if (!in) {
+    std::cerr << "cannot open " << argv[0] << "\n";
+    return 1;
+  }
+  const clb::graph::Graph g = clb::graph::read_edge_list(in);
+  const auto is = clb::maxis::solve_exact(g);
+  const auto vc = clb::maxis::solve_vertex_cover_exact(g);
+  std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges, total weight " << g.total_weight() << "\n";
+  std::cout << "max independent set: weight " << is.weight << ", nodes:";
+  for (auto v : is.nodes) std::cout << ' ' << v;
+  std::cout << "\nmin vertex cover: weight " << vc.weight << ", nodes:";
+  for (auto v : vc.nodes) std::cout << ' ' << v;
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::size_t t = std::strtoull(argv[0], nullptr, 10);
+  const std::uint64_t seed = std::strtoull(argv[1], nullptr, 10);
+  const bool want_yes = std::string(argv[2]) == "yes";
+  const auto p = clb::lb::GadgetParams::for_linear_separation(t, 1);
+  const clb::lb::LinearConstruction c(p, t);
+  clb::Rng rng(seed);
+  const auto inst =
+      want_yes ? clb::comm::make_uniquely_intersecting(p.k, t, rng)
+               : clb::comm::make_pairwise_disjoint(p.k, t, rng);
+  clb::comm::Blackboard board(t);
+  clb::congest::NetworkConfig cfg;
+  cfg.bits_per_edge = clb::congest::universal_required_bits(
+      c.num_nodes(), static_cast<clb::graph::Weight>(p.ell));
+  cfg.max_rounds = 500'000;
+  const auto rep = clb::sim::run_linear_reduction(
+      c, inst,
+      clb::congest::universal_maxis_factory([](const clb::graph::Graph& g) {
+        return clb::maxis::solve_exact(g).nodes;
+      }),
+      board, cfg);
+  clb::Table tbl({"field", "value"});
+  tbl.row("n / t / cut", std::to_string(rep.n) + " / " + std::to_string(rep.t) +
+                             " / " + std::to_string(rep.cut_edges));
+  tbl.row("rounds", rep.rounds);
+  tbl.row("blackboard bits", rep.blackboard_bits);
+  tbl.row("theorem-5 budget", rep.theorem5_budget);
+  tbl.row("accounting ok", rep.accounting_ok);
+  tbl.row("IS weight / YES threshold", std::to_string(rep.computed_weight) +
+                                           " / " +
+                                           std::to_string(rep.yes_weight));
+  tbl.row("decision",
+          rep.decided_disjoint ? "pairwise disjoint" : "uniquely intersecting");
+  tbl.row("correct", rep.correct);
+  tbl.print(std::cout);
+  return rep.correct ? 0 : 1;
+}
+
+int cmd_protocols(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::size_t k = std::strtoull(argv[0], nullptr, 10);
+  const std::size_t t = std::strtoull(argv[1], nullptr, 10);
+  clb::Rng rng(1);
+  clb::Table tbl({"protocol", "bits (worst of both branches)", "answer ok"});
+  for (const auto& proto : clb::comm::all_reference_protocols()) {
+    std::size_t cost = 0;
+    bool ok = true;
+    for (bool intersecting : {true, false}) {
+      const auto inst =
+          intersecting
+              ? clb::comm::make_uniquely_intersecting(k, t, rng, 0.3)
+              : clb::comm::make_pairwise_disjoint(k, t, rng, 0.3);
+      clb::comm::Blackboard b(t);
+      ok = ok && proto->run(inst, b) == !intersecting;
+      cost = std::max(cost, b.total_bits());
+    }
+    tbl.row(proto->name(), cost, ok);
+  }
+  tbl.row("CKS lower bound",
+          clb::fmt_double(clb::comm::cks_lower_bound_bits(k, t), 1), "-");
+  tbl.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "bounds") return cmd_bounds(argc - 2, argv + 2);
+    if (cmd == "gap") return cmd_gap(argc - 2, argv + 2);
+    if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
+    if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
+    if (cmd == "protocols") return cmd_protocols(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
