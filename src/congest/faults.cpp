@@ -1,0 +1,120 @@
+#include "congest/faults.hpp"
+
+#include <sstream>
+
+#include "support/expect.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::congest {
+
+namespace {
+
+// Domain-separation tags so the per-message action stream, the corruption
+// bit choices, and the crash schedule never draw from overlapping hash
+// inputs.
+constexpr std::uint64_t kActionTag = 0xFA171AC700000001ULL;
+constexpr std::uint64_t kCorruptTag = 0xFA17C02200000002ULL;
+constexpr std::uint64_t kCrashTag = 0xFA17C2A500000003ULL;
+
+}  // namespace
+
+std::size_t FaultPlan::num_crashing_nodes() const {
+  std::size_t count = 0;
+  for (const auto& span : crashes) {
+    if (span.has_value()) ++count;
+  }
+  return count;
+}
+
+std::size_t FaultPlan::num_permanently_crashed() const {
+  std::size_t count = 0;
+  for (const auto& span : crashes) {
+    if (span.has_value() && span->permanent()) ++count;
+  }
+  return count;
+}
+
+bool FaultPlan::crashed_at(NodeId v, std::size_t round) const {
+  CLB_EXPECT(v < crashes.size(), "FaultPlan: node id out of range");
+  return crashes[v].has_value() && crashes[v]->covers(round);
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  for (NodeId v = 0; v < crashes.size(); ++v) {
+    if (!crashes[v]) continue;
+    os << "node " << v << " crashes at round " << crashes[v]->crash_round;
+    if (crashes[v]->permanent()) {
+      os << " (permanent)\n";
+    } else {
+      os << ", recovers at round " << crashes[v]->recover_round << "\n";
+    }
+  }
+  return std::move(os).str();
+}
+
+FaultPlan make_fault_plan(const FaultConfig& config, std::size_t num_nodes,
+                          std::uint64_t seed) {
+  FaultPlan plan;
+  plan.crashes.assign(num_nodes, std::nullopt);
+  if (config.crash_rate <= 0.0) return plan;
+  CLB_EXPECT(config.crash_round_limit >= 1,
+             "FaultConfig: crash_round_limit must be >= 1");
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const std::uint64_t h = hash_mix(seed, kCrashTag, v);
+    if (hash_to_unit(h) >= config.crash_rate) continue;
+    CrashSpan span;
+    span.crash_round =
+        1 + hash_mix(seed, kCrashTag, v, std::uint64_t{1}) %
+                config.crash_round_limit;
+    if (config.recovery_delay > 0) {
+      span.recover_round = span.crash_round + config.recovery_delay;
+    }
+    plan.crashes[v] = span;
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(FaultConfig config, std::size_t num_nodes,
+                             std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  const auto in_unit = [](double p) { return p >= 0.0 && p <= 1.0; };
+  CLB_EXPECT(in_unit(config_.drop_rate) && in_unit(config_.corrupt_rate) &&
+                 in_unit(config_.duplicate_rate) &&
+                 in_unit(config_.crash_rate),
+             "FaultConfig: rates must be in [0,1]");
+  CLB_EXPECT(
+      config_.drop_rate + config_.corrupt_rate + config_.duplicate_rate <=
+          1.0,
+      "FaultConfig: drop + corrupt + duplicate rates must sum to <= 1");
+  plan_ = make_fault_plan(config_, num_nodes, seed);
+}
+
+FaultAction FaultInjector::classify(std::size_t round, NodeId from,
+                                    NodeId to) const {
+  const double u =
+      hash_to_unit(hash_mix(seed_, kActionTag, round, from, to));
+  if (u < config_.drop_rate) return FaultAction::kDrop;
+  if (u < config_.drop_rate + config_.corrupt_rate) {
+    return FaultAction::kCorrupt;
+  }
+  if (u < config_.drop_rate + config_.corrupt_rate + config_.duplicate_rate) {
+    return FaultAction::kDuplicate;
+  }
+  return FaultAction::kDeliver;
+}
+
+void FaultInjector::corrupt(std::size_t round, NodeId from, NodeId to,
+                            Message& msg) const {
+  CLB_EXPECT(msg.bits > 0, "FaultInjector: cannot corrupt an empty message");
+  const std::uint64_t h = hash_mix(seed_, kCorruptTag, round, from, to);
+  const std::size_t flips = 1 + h % 3;
+  for (std::size_t f = 0; f < flips; ++f) {
+    const std::size_t bit =
+        hash_mix(seed_, kCorruptTag, round, from, to, f) % msg.bits;
+    msg.data[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+  }
+}
+
+}  // namespace congestlb::congest

@@ -1,0 +1,137 @@
+// Deterministic fault injection for the CONGEST simulator.
+//
+// The lower-bound accounting of Theorem 5 charges cut-crossing bits to the
+// blackboard; that accounting is only trustworthy if the simulator keeps its
+// books under *adversarial* schedules, not just the pristine failure-free
+// one. This module supplies a deterministic adversary: a FaultPlan derived
+// purely from (NetworkConfig::seed, FaultConfig, n) that decides, for every
+// (round, from, to) triple, whether the message is delivered, dropped,
+// bit-corrupted in place (same bit count — the bandwidth budget is never
+// exceeded by a fault), or duplicated as a one-round-later echo; and, per
+// node, whether and when it crash-stops and possibly recovers.
+//
+// Determinism contract: every decision is a pure function of the seed and
+// the message coordinates — independent of iteration order, of what other
+// messages exist, and of how many times the schedule is queried. Any
+// failing schedule is therefore a one-line repro: same graph + same
+// NetworkConfig (seed + faults) => bit-identical execution.
+//
+// Accounting contract: Network charges edge_bits_ / RunStats / on_message
+// only for messages actually delivered (corrupted payloads count — those
+// bits crossed the wire; dropped messages do not). sim::ReductionDriver
+// therefore never over- or under-charges the blackboard under faults.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/message.hpp"
+#include "graph/graph.hpp"
+
+namespace congestlb::congest {
+
+using graph::NodeId;
+
+/// Fault rates and crash-schedule shape. All-zero (the default) disables
+/// injection entirely; Network then takes the fault-free fast path.
+struct FaultConfig {
+  /// Per-message probabilities, evaluated in this priority order for each
+  /// (round, from, to): drop, else corrupt, else duplicate. Sum must be
+  /// <= 1; each in [0,1].
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double duplicate_rate = 0.0;
+
+  /// Fraction of nodes that crash-stop (chosen deterministically from the
+  /// seed). A crashed node neither runs nor sends nor receives.
+  double crash_rate = 0.0;
+  /// Crashes are scheduled uniformly in rounds [1, crash_round_limit].
+  std::size_t crash_round_limit = 32;
+  /// 0 = crashed nodes never come back; otherwise a node recovers (with its
+  /// program state intact — crash-stop, not amnesia) after this many rounds.
+  std::size_t recovery_delay = 0;
+
+  /// True iff any fault can ever fire.
+  bool enabled() const {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || duplicate_rate > 0.0 ||
+           crash_rate > 0.0;
+  }
+};
+
+/// What the injector decided for one directed message.
+enum class FaultAction : std::uint8_t {
+  kDeliver,    ///< untouched
+  kDrop,       ///< lost; never charged, never observed
+  kCorrupt,    ///< delivered with >= 1 bit flipped, same bit count
+  kDuplicate,  ///< delivered now AND echoed one round later (slot permitting)
+};
+
+/// A node's crash window [crash_round, recover_round); recover_round ==
+/// kNever means permanent.
+struct CrashSpan {
+  static constexpr std::size_t kNever = ~static_cast<std::size_t>(0);
+  std::size_t crash_round = 0;
+  std::size_t recover_round = kNever;
+
+  bool covers(std::size_t round) const {
+    return round >= crash_round && round < recover_round;
+  }
+  bool permanent() const { return recover_round == kNever; }
+};
+
+/// The precomputed per-node crash schedule. Message-level decisions are not
+/// materialized (they are pure hash lookups); the plan holds only what must
+/// be globally consistent — which nodes crash and when.
+struct FaultPlan {
+  std::vector<std::optional<CrashSpan>> crashes;  ///< indexed by node
+
+  std::size_t num_crashing_nodes() const;
+  std::size_t num_permanently_crashed() const;
+  bool crashed_at(NodeId v, std::size_t round) const;
+
+  /// Human-readable schedule ("node 3 crashes at round 7 (permanent)"),
+  /// one line per crashing node — the diagnostic half of a seed repro.
+  std::string describe() const;
+};
+
+/// Derive the crash schedule for an n-node network. Pure function of its
+/// arguments; Network calls this with NetworkConfig::seed.
+FaultPlan make_fault_plan(const FaultConfig& config, std::size_t num_nodes,
+                          std::uint64_t seed);
+
+/// Stateless-per-message fault oracle. Construction precomputes the crash
+/// plan; everything else is evaluated on demand.
+class FaultInjector {
+ public:
+  /// Validates config (rates in range, summing <= 1) — throws
+  /// InvariantError otherwise.
+  FaultInjector(FaultConfig config, std::size_t num_nodes,
+                std::uint64_t seed);
+
+  const FaultConfig& config() const { return config_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Is v crashed during `round`?
+  bool node_crashed(NodeId v, std::size_t round) const {
+    return plan_.crashed_at(v, round);
+  }
+
+  /// The action for the message sent from -> to in `round`. Pure in
+  /// (seed, round, from, to): independent of call order and repetition.
+  FaultAction classify(std::size_t round, NodeId from, NodeId to) const;
+
+  /// Flip 1-3 bits of `msg` in place, chosen deterministically from
+  /// (seed, round, from, to). msg.bits is unchanged (in-budget corruption).
+  /// Requires msg.bits > 0.
+  void corrupt(std::size_t round, NodeId from, NodeId to, Message& msg) const;
+
+ private:
+  FaultConfig config_;
+  FaultPlan plan_;
+  std::uint64_t seed_;
+};
+
+}  // namespace congestlb::congest

@@ -1,8 +1,14 @@
 #include "congest/message.hpp"
 
 #include "support/expect.hpp"
+#include "support/hash.hpp"
 
 namespace congestlb::congest {
+
+std::uint64_t fold_checksum(std::uint64_t value, std::size_t width) {
+  CLB_EXPECT(width >= 1 && width <= 16, "fold_checksum: width in [1,16]");
+  return hash_mix64(value) & ((1ULL << width) - 1);
+}
 
 MessageWriter& MessageWriter::put(std::uint64_t value, std::size_t width) {
   CLB_EXPECT(width >= 1 && width <= 64, "MessageWriter: width in [1,64]");

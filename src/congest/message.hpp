@@ -37,6 +37,15 @@ class MessageWriter {
   std::size_t bits_ = 0;
 };
 
+/// A `width`-bit integrity checksum of `value` (width in [1,16]): the low
+/// bits of a 64-bit mix of the value. Fault-tolerant algorithms append it to
+/// their payload so that in-budget bit corruption (faults.hpp) is detected
+/// and the message discarded, rather than a flipped bit silently becoming a
+/// wrong BFS level or a forged leader id. A width-w checksum misses a given
+/// corruption with probability 2^-w; callers pick the width they can afford
+/// within the CONGEST budget.
+std::uint64_t fold_checksum(std::uint64_t value, std::size_t width);
+
 /// Sequential bit reader over a Message.
 class MessageReader {
  public:

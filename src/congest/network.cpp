@@ -30,6 +30,9 @@ Network::Network(const graph::Graph& g, const ProgramFactory& factory,
   bits_per_edge_ = config.bits_per_edge != 0 ? config.bits_per_edge
                                              : congest_bandwidth_bits(g.num_nodes());
   CLB_EXPECT(bits_per_edge_ >= 1, "Network: bandwidth must be positive");
+  if (config_.faults.enabled()) {
+    injector_.emplace(config_.faults, g.num_nodes(), config_.seed);
+  }
 
   // Assign dense edge ids (u < v order) and per-node slot -> edge id maps.
   edge_id_.resize(g.num_nodes());
@@ -52,6 +55,7 @@ Network::Network(const graph::Graph& g, const ProgramFactory& factory,
     }
   }
   edge_bits_.assign(next_edge, 0);
+  was_crashed_.assign(g.num_nodes(), 0);
 
   Rng seeder(config.seed);
   infos_.reserve(g.num_nodes());
@@ -74,8 +78,37 @@ Network::Network(const graph::Graph& g, const ProgramFactory& factory,
   }
 }
 
+void Network::deliver(std::vector<Inbox>& next, std::size_t round, NodeId u,
+                      NodeId v, const Message& msg) {
+  const auto& nv = infos_[v].neighbors;
+  const auto it = std::lower_bound(nv.begin(), nv.end(), u);
+  const auto slot = static_cast<std::size_t>(it - nv.begin());
+  stats_.messages_sent += 1;
+  stats_.bits_sent += msg.bits;
+  edge_bits_[edge_id_[v][slot]] += msg.bits;
+  if (config_.on_message) config_.on_message(round, u, v, msg);
+  next[v][slot] = msg;
+}
+
+bool Network::receiver_lost(NodeId v, std::size_t consume_round) const {
+  return injector_.has_value() && injector_->node_crashed(v, consume_round);
+}
+
 bool Network::step() {
   const std::size_t n = g_->num_nodes();
+  const std::size_t round = stats_.rounds;
+
+  // Crash bookkeeping: record crash/recovery transitions for this round.
+  std::vector<char> crashed_now(n, 0);
+  if (injector_.has_value()) {
+    for (NodeId v = 0; v < n; ++v) {
+      crashed_now[v] = injector_->node_crashed(v, round) ? 1 : 0;
+      if (crashed_now[v] && !was_crashed_[v]) stats_.nodes_crashed += 1;
+      if (!crashed_now[v] && was_crashed_[v]) stats_.nodes_recovered += 1;
+    }
+    was_crashed_ = crashed_now;
+  }
+
   std::vector<Outbox> outboxes;
   outboxes.reserve(n);
   bool any_inbound = false;
@@ -90,13 +123,20 @@ bool Network::step() {
   }
   for (NodeId v = 0; v < n; ++v) {
     Outbox out(infos_[v].neighbors.size());
-    programs_[v]->round(infos_[v], inflight_[v], out, node_rng_[v]);
+    // A crashed node neither computes nor sends; its program state is
+    // frozen until recovery (crash-stop, not amnesia).
+    if (!crashed_now[v]) {
+      programs_[v]->round(infos_[v], inflight_[v], out, node_rng_[v]);
+    }
     outboxes.push_back(std::move(out));
   }
-  // Enforce bandwidth + broadcast restriction, account bits, deliver.
-  bool any_sent = false;
+  // Enforce bandwidth + broadcast restriction, apply the fault schedule,
+  // account bits, deliver. Only delivered messages are charged.
+  std::uint64_t delivered_this_round = 0;
+  std::uint64_t attempted_this_round = 0;
   std::vector<Inbox> next(n);
   for (NodeId v = 0; v < n; ++v) next[v].resize(infos_[v].neighbors.size());
+  std::vector<PendingEcho> new_echoes;
   for (NodeId u = 0; u < n; ++u) {
     const auto& slots = outboxes[u].slots();
     if (config_.broadcast_only) {
@@ -116,46 +156,110 @@ bool Network::step() {
     for (std::size_t s = 0; s < slots.size(); ++s) {
       if (!slots[s]) continue;
       const Message& m = *slots[s];
+      // The model constraint is checked at send time, faults or not: a
+      // program that oversends is buggy even if the message would be lost.
       CLB_EXPECT(m.bits <= bits_per_edge_,
                  "CONGEST bandwidth exceeded: message of " +
                      std::to_string(m.bits) + " bits on a " +
                      std::to_string(bits_per_edge_) + "-bit edge");
-      any_sent = true;
-      stats_.messages_sent += 1;
-      stats_.bits_sent += m.bits;
-      edge_bits_[edge_id_[u][s]] += m.bits;
-      // Deliver to neighbor v at v's slot for u.
+      attempted_this_round += 1;
       const NodeId v = infos_[u].neighbors[s];
-      if (config_.on_message) config_.on_message(stats_.rounds, u, v, m);
-      const auto& nv = infos_[v].neighbors;
-      const auto it = std::lower_bound(nv.begin(), nv.end(), u);
-      next[v][static_cast<std::size_t>(it - nv.begin())] = m;
+      // Messages sent this round are consumed next round; a receiver
+      // crashed at consumption time loses the message.
+      if (receiver_lost(v, round + 1)) {
+        stats_.messages_dropped += 1;
+        stats_.bits_dropped += m.bits;
+        continue;
+      }
+      const FaultAction action =
+          injector_.has_value() ? injector_->classify(round, u, v)
+                                : FaultAction::kDeliver;
+      switch (action) {
+        case FaultAction::kDrop:
+          stats_.messages_dropped += 1;
+          stats_.bits_dropped += m.bits;
+          continue;
+        case FaultAction::kCorrupt: {
+          Message corrupted = m;
+          injector_->corrupt(round, u, v, corrupted);
+          stats_.messages_corrupted += 1;
+          deliver(next, round, u, v, corrupted);
+          delivered_this_round += 1;
+          continue;
+        }
+        case FaultAction::kDuplicate: {
+          deliver(next, round, u, v, m);
+          delivered_this_round += 1;
+          const auto& nv = infos_[v].neighbors;
+          const auto it = std::lower_bound(nv.begin(), nv.end(), u);
+          new_echoes.push_back(PendingEcho{
+              u, v, static_cast<std::size_t>(it - nv.begin()), m});
+          continue;
+        }
+        case FaultAction::kDeliver:
+          deliver(next, round, u, v, m);
+          delivered_this_round += 1;
+          continue;
+      }
     }
+  }
+  // Place the echoes queued in the previous round: a duplicated message is
+  // redelivered one round after the original, but only if the edge slot is
+  // otherwise idle this round (one message per edge per round — a fault
+  // never violates the CONGEST budget) and the receiver survives. Displaced
+  // or crash-lost echoes vanish without charge.
+  for (const auto& echo : pending_echo_) {
+    attempted_this_round += 1;
+    if (next[echo.to][echo.slot].has_value() ||
+        receiver_lost(echo.to, round + 1)) {
+      continue;
+    }
+    stats_.messages_duplicated += 1;
+    deliver(next, round, echo.from, echo.to, echo.msg);
+    delivered_this_round += 1;
+  }
+  pending_echo_ = std::move(new_echoes);
+  if (attempted_this_round > 0 && delivered_this_round == 0) {
+    stats_.rounds_stalled += 1;
   }
   inflight_ = std::move(next);
   stats_.rounds += 1;
-  return any_sent || any_inbound;
+  return delivered_this_round > 0 || any_inbound;
+}
+
+bool Network::node_terminal(NodeId v) const {
+  if (programs_[v]->finished() || programs_[v]->failed()) return true;
+  // A permanently crashed node will never act again: waiting for it would
+  // spin to max_rounds for nothing.
+  if (injector_.has_value()) {
+    const auto& span = injector_->plan().crashes[v];
+    if (span.has_value() && span->permanent() &&
+        span->crash_round <= stats_.rounds) {
+      return true;
+    }
+  }
+  return false;
 }
 
 RunStats Network::run() {
   while (stats_.rounds < config_.max_rounds) {
     bool all_done = true;
-    for (const auto& p : programs_) {
-      if (!p->finished()) {
+    for (NodeId v = 0; v < programs_.size(); ++v) {
+      if (!node_terminal(v)) {
         all_done = false;
         break;
       }
     }
     if (all_done) {
-      bool quiet = true;
+      bool quiet = pending_echo_.empty();
       for (const auto& inbox : inflight_) {
+        if (!quiet) break;
         for (const auto& m : inbox) {
           if (m.has_value()) {
             quiet = false;
             break;
           }
         }
-        if (!quiet) break;
       }
       if (quiet) break;
     }
@@ -164,14 +268,23 @@ RunStats Network::run() {
   stats_.all_finished =
       std::all_of(programs_.begin(), programs_.end(),
                   [](const auto& p) { return p->finished(); });
+  stats_.any_failed =
+      std::any_of(programs_.begin(), programs_.end(),
+                  [](const auto& p) { return p->failed(); });
   return stats_;
 }
 
 RunStats Network::run_rounds(std::size_t rounds) {
-  for (std::size_t r = 0; r < rounds; ++r) step();
+  for (std::size_t r = 0; r < rounds && stats_.rounds < config_.max_rounds;
+       ++r) {
+    step();
+  }
   stats_.all_finished =
       std::all_of(programs_.begin(), programs_.end(),
                   [](const auto& p) { return p->finished(); });
+  stats_.any_failed =
+      std::any_of(programs_.begin(), programs_.end(),
+                  [](const auto& p) { return p->failed(); });
   return stats_;
 }
 
@@ -183,6 +296,27 @@ const NodeProgram& Network::program(NodeId v) const {
 const NodeInfo& Network::info(NodeId v) const {
   CLB_EXPECT(v < infos_.size(), "Network: node id out of range");
   return infos_[v];
+}
+
+const FaultPlan* Network::fault_plan() const {
+  return injector_.has_value() ? &injector_->plan() : nullptr;
+}
+
+bool Network::node_crashed(NodeId v) const {
+  CLB_EXPECT(v < programs_.size(), "Network: node id out of range");
+  return injector_.has_value() && injector_->node_crashed(v, stats_.rounds);
+}
+
+std::vector<std::string> Network::failure_diagnostics() const {
+  std::vector<std::string> out;
+  for (NodeId v = 0; v < programs_.size(); ++v) {
+    if (!programs_[v]->failed()) continue;
+    std::string line = "node " + std::to_string(v);
+    const std::string detail = programs_[v]->diagnostic();
+    if (!detail.empty()) line += ": " + detail;
+    out.push_back(std::move(line));
+  }
+  return out;
 }
 
 std::uint64_t Network::bits_on_edge(NodeId u, NodeId v) const {

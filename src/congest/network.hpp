@@ -11,14 +11,24 @@
 // A CONGEST-Broadcast restriction (the model of [11], discussed in the
 // paper's introduction) is available via Config::broadcast_only: a node must
 // send the same message to all neighbors in a round.
+//
+// Adversarial schedules: NetworkConfig::faults enables the deterministic
+// fault injector (faults.hpp) — per-message drop / in-budget corruption /
+// duplication-as-echo plus crash-stop node failures, all reproducible from
+// NetworkConfig::seed. Accounting stays exact under faults: edge traffic,
+// RunStats bit counters, and the on_message observer reflect precisely the
+// messages that were actually delivered (corrupted payloads included,
+// dropped ones excluded), so blackboard charging never drifts.
 
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
 #include "support/rng.hpp"
@@ -77,6 +87,16 @@ class NodeProgram {
   /// nodes are finished and no message is in flight.
   virtual bool finished() const = 0;
 
+  /// True when this node has given up (e.g. a fault-tolerant algorithm hit
+  /// its round deadline without converging). A failed node is terminal for
+  /// halting purposes, like finished() — the network does not spin to
+  /// max_rounds waiting for it — but its output() is not to be trusted.
+  virtual bool failed() const { return false; }
+
+  /// Structured self-report, meaningful mainly when failed(): what the node
+  /// was waiting for when it gave up. Empty = nothing to report.
+  virtual std::string diagnostic() const { return {}; }
+
   /// The node's output value; meaning is program-specific (e.g. 1 = "I am in
   /// the independent set").
   virtual std::int64_t output() const { return 0; }
@@ -91,17 +111,32 @@ struct NetworkConfig {
   std::size_t max_rounds = 1'000'000;
   std::uint64_t seed = 0xC0D1F1EDULL;
   bool broadcast_only = false;  ///< CONGEST-Broadcast restriction
-  /// Observer invoked for every message at send time (round, from, to, msg).
-  /// Used by sim::ReductionDriver to charge cut-crossing messages to the
-  /// communication blackboard (Theorem 5's simulation).
+  /// Deterministic fault injection (all-zero rates = off). The schedule is
+  /// a pure function of `seed` and these rates; see faults.hpp.
+  FaultConfig faults;
+  /// Observer invoked for every message at delivery time (round, from, to,
+  /// msg). Used by sim::ReductionDriver to charge cut-crossing messages to
+  /// the communication blackboard (Theorem 5's simulation). Under fault
+  /// injection the observer sees exactly the delivered traffic: corrupted
+  /// payloads as corrupted, dropped messages not at all.
   std::function<void(std::size_t, NodeId, NodeId, const Message&)> on_message;
 };
 
 struct RunStats {
   std::size_t rounds = 0;
-  std::uint64_t messages_sent = 0;
-  std::uint64_t bits_sent = 0;
+  std::uint64_t messages_sent = 0;  ///< messages actually delivered
+  std::uint64_t bits_sent = 0;      ///< bits actually delivered
   bool all_finished = false;
+  bool any_failed = false;  ///< some program reported failed()
+
+  // Fault accounting (all zero when NetworkConfig::faults is disabled).
+  std::uint64_t messages_dropped = 0;    ///< lost to drop faults or crashes
+  std::uint64_t bits_dropped = 0;        ///< bits of those messages
+  std::uint64_t messages_corrupted = 0;  ///< delivered with flipped bits
+  std::uint64_t messages_duplicated = 0; ///< extra echo deliveries
+  std::size_t nodes_crashed = 0;         ///< crash events so far
+  std::size_t nodes_recovered = 0;       ///< recoveries so far
+  std::size_t rounds_stalled = 0;  ///< rounds where faults ate every message
 };
 
 /// The default CONGEST bandwidth for an n-node network: c * ceil(log2 n)
@@ -116,12 +151,15 @@ class Network {
   Network(const graph::Graph& g, const ProgramFactory& factory,
           NetworkConfig config = {});
 
-  /// Run until all programs finish and the network is quiet, or until
-  /// max_rounds. Can be called repeatedly to continue a paused run.
+  /// Run until every node is terminal — finished(), failed(), or permanently
+  /// crashed — and the network is quiet, or until max_rounds. Can be called
+  /// repeatedly to continue a paused run: in-flight messages (including
+  /// pending fault echoes) are preserved across calls.
   RunStats run();
 
-  /// Execute exactly `rounds` additional rounds (for lockstep simulation by
-  /// the reduction driver).
+  /// Execute up to `rounds` additional rounds (for lockstep simulation by
+  /// the reduction driver). max_rounds is enforced across repeated calls:
+  /// the network never executes more than config.max_rounds rounds total.
   RunStats run_rounds(std::size_t rounds);
 
   const NodeProgram& program(NodeId v) const;
@@ -129,6 +167,16 @@ class Network {
   std::size_t bits_per_edge() const { return bits_per_edge_; }
   std::size_t rounds_executed() const { return stats_.rounds; }
   const RunStats& stats() const { return stats_; }
+
+  /// The crash schedule in force, or nullptr when fault injection is off.
+  const FaultPlan* fault_plan() const;
+
+  /// Is v crashed at the current round?
+  bool node_crashed(NodeId v) const;
+
+  /// Diagnostics of every program that reported failed(), as
+  /// "node <id>: <diagnostic>" lines (empty when none failed).
+  std::vector<std::string> failure_diagnostics() const;
 
   /// Total bits sent over edge {u,v} in both directions so far.
   std::uint64_t bits_on_edge(NodeId u, NodeId v) const;
@@ -142,13 +190,34 @@ class Network {
  private:
   bool step();  ///< one round; returns true if any message was delivered/sent
 
+  /// Deliver `msg` into v's inbox slot for sender u: charge edge traffic,
+  /// update stats, notify the observer.
+  void deliver(std::vector<Inbox>& next, std::size_t round, NodeId u, NodeId v,
+               const Message& msg);
+
+  /// Node v is terminal: finished, failed, or crashed never to return.
+  bool node_terminal(NodeId v) const;
+
+  /// A message consumed at `round` by a crashed receiver is lost.
+  bool receiver_lost(NodeId v, std::size_t consume_round) const;
+
   const graph::Graph* g_;
   std::size_t bits_per_edge_;
   NetworkConfig config_;
+  std::optional<FaultInjector> injector_;  ///< engaged iff faults enabled
   std::vector<NodeInfo> infos_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<Rng> node_rng_;
   std::vector<Inbox> inflight_;  ///< messages to deliver next round
+  /// Echo deliveries (duplication faults) to place one round later.
+  struct PendingEcho {
+    NodeId from = 0;
+    NodeId to = 0;
+    std::size_t slot = 0;  ///< receiver's slot for `from`
+    Message msg;
+  };
+  std::vector<PendingEcho> pending_echo_;
+  std::vector<char> was_crashed_;  ///< crash state last round (transitions)
   std::vector<std::uint64_t> edge_bits_;  ///< per undirected edge id
   std::vector<std::vector<std::size_t>> edge_id_;  ///< per node, per slot
   RunStats stats_;

@@ -1,0 +1,443 @@
+#include "lowerbound/validators.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/matching.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::lb {
+
+namespace {
+
+constexpr std::size_t kNone = ValidationIssue::kNone;
+
+void append_location(std::ostringstream& os, const ValidationIssue& issue) {
+  if (issue.player_i != kNone) os << " i=" << issue.player_i;
+  if (issue.player_j != kNone) os << " j=" << issue.player_j;
+  if (issue.index != kNone) os << " m=" << issue.index;
+  if (issue.u != graph::NodeId(kNone)) os << " u=" << issue.u;
+  if (issue.v != graph::NodeId(kNone)) os << " v=" << issue.v;
+}
+
+/// Check that `witness` is independent in `g`; on violation report the
+/// first adjacent pair.
+void check_witness_independent(const graph::Graph& g,
+                               const std::vector<NodeId>& witness,
+                               const std::string& gadget, std::size_t index,
+                               ValidationReport& report) {
+  ++report.checks_run;
+  for (std::size_t a = 0; a < witness.size(); ++a) {
+    for (std::size_t b = a + 1; b < witness.size(); ++b) {
+      if (!g.has_edge(witness[a], witness[b])) continue;
+      ValidationIssue issue;
+      issue.property = "property1";
+      issue.gadget = gadget;
+      issue.index = index;
+      issue.u = witness[a];
+      issue.v = witness[b];
+      issue.expected = 0;
+      issue.actual = 1;
+      issue.detail = "yes-witness contains the edge {" +
+                     g.label(witness[a]) + ", " + g.label(witness[b]) + "}";
+      report.issues.push_back(std::move(issue));
+      return;  // one offending pair locates the break precisely enough
+    }
+  }
+}
+
+/// Property 2 on one sampled cross-copy codeword pair.
+void check_codeword_matching(const graph::Graph& g,
+                             const std::vector<NodeId>& left,
+                             const std::vector<NodeId>& right,
+                             std::size_t ell, const std::string& gadget,
+                             std::size_t i, std::size_t j, std::size_t m1,
+                             std::size_t m2, ValidationReport& report) {
+  ++report.checks_run;
+  const auto matching = graph::max_bipartite_matching(g, left, right);
+  if (matching.size() >= ell) return;
+  ValidationIssue issue;
+  issue.property = "property2";
+  issue.gadget = gadget;
+  issue.player_i = i;
+  issue.player_j = j;
+  issue.index = m1;
+  issue.expected = static_cast<std::int64_t>(ell);
+  issue.actual = static_cast<std::int64_t>(matching.size());
+  issue.detail = "codeword pair (m1=" + std::to_string(m1) +
+                 ", m2=" + std::to_string(m2) + ") induces a matching of " +
+                 std::to_string(matching.size()) + " < ell=" +
+                 std::to_string(ell);
+  report.issues.push_back(std::move(issue));
+}
+
+/// Property 3 on one sampled codeword pair: positions where the two
+/// codewords can coexist in an IS (same-position cross-copy non-edges).
+void check_shared_positions(const graph::Graph& g,
+                            const std::vector<NodeId>& left,
+                            const std::vector<NodeId>& right,
+                            std::size_t alpha, const std::string& gadget,
+                            std::size_t i, std::size_t j, std::size_t m1,
+                            std::size_t m2, ValidationReport& report) {
+  ++report.checks_run;
+  std::size_t shared = 0;
+  std::size_t first_h = kNone;
+  for (std::size_t h = 0; h < left.size(); ++h) {
+    if (g.has_edge(left[h], right[h])) continue;
+    ++shared;
+    if (first_h == kNone) first_h = h;
+  }
+  if (shared <= alpha) return;
+  ValidationIssue issue;
+  issue.property = "property3";
+  issue.gadget = gadget;
+  issue.player_i = i;
+  issue.player_j = j;
+  issue.index = m1;
+  issue.u = first_h == kNone ? graph::NodeId(kNone) : left[first_h];
+  issue.v = first_h == kNone ? graph::NodeId(kNone) : right[first_h];
+  issue.expected = static_cast<std::int64_t>(alpha);
+  issue.actual = static_cast<std::int64_t>(shared);
+  issue.detail = "codewords m1=" + std::to_string(m1) +
+                 ", m2=" + std::to_string(m2) + " agree in " +
+                 std::to_string(shared) + " positions > alpha=" +
+                 std::to_string(alpha);
+  report.issues.push_back(std::move(issue));
+}
+
+/// Cut consistency: the enumerated cut matches the closed form and every
+/// listed edge crosses a boundary.
+template <typename Construction>
+void check_cut(const Construction& c, const std::string& gadget,
+               ValidationReport& report) {
+  ++report.checks_run;
+  const auto cut = c.cut_edges();
+  if (cut.size() != c.cut_size()) {
+    ValidationIssue issue;
+    issue.property = "cut";
+    issue.gadget = gadget;
+    issue.expected = static_cast<std::int64_t>(c.cut_size());
+    issue.actual = static_cast<std::int64_t>(cut.size());
+    issue.detail = "enumerated cut disagrees with the closed form";
+    report.issues.push_back(std::move(issue));
+  }
+  for (auto [u, v] : cut) {
+    if (c.owner(u) != c.owner(v)) continue;
+    ValidationIssue issue;
+    issue.property = "cut";
+    issue.gadget = gadget;
+    issue.player_i = c.owner(u);
+    issue.player_j = c.owner(v);
+    issue.u = u;
+    issue.v = v;
+    issue.detail = "cut edge does not cross a player boundary";
+    report.issues.push_back(std::move(issue));
+    break;
+  }
+}
+
+/// The instantiated graph must keep the fixed edge set (the linear family
+/// changes only weights). Reports the first edge of the symmetric
+/// difference.
+void check_same_edges(const graph::Graph& fixed, const graph::Graph& inst,
+                      const std::string& gadget, ValidationReport& report) {
+  ++report.checks_run;
+  const auto fixed_edges = graph::edge_list(fixed);
+  const auto inst_edges = graph::edge_list(inst);
+  if (fixed_edges == inst_edges) return;
+  ValidationIssue issue;
+  issue.property = "edges";
+  issue.gadget = gadget;
+  issue.expected = static_cast<std::int64_t>(fixed_edges.size());
+  issue.actual = static_cast<std::int64_t>(inst_edges.size());
+  for (auto [u, v] : fixed_edges) {
+    if (!inst.has_edge(u, v)) {
+      issue.u = u;
+      issue.v = v;
+      issue.detail = "fixed edge missing from the instance";
+      break;
+    }
+  }
+  if (issue.detail.empty()) {
+    for (auto [u, v] : inst_edges) {
+      if (!fixed.has_edge(u, v)) {
+        issue.u = u;
+        issue.v = v;
+        issue.detail = "instance has an edge the fixed graph lacks";
+        break;
+      }
+    }
+  }
+  report.issues.push_back(std::move(issue));
+}
+
+void check_weight(const graph::Graph& g, NodeId node, graph::Weight expected,
+                  const std::string& gadget, std::size_t player,
+                  std::size_t index, const char* what,
+                  ValidationReport& report) {
+  ++report.checks_run;
+  const graph::Weight actual = g.weight(node);
+  if (actual == expected) return;
+  ValidationIssue issue;
+  issue.property = "weights";
+  issue.gadget = gadget;
+  issue.player_i = player;
+  issue.index = index;
+  issue.u = node;
+  issue.expected = expected;
+  issue.actual = actual;
+  issue.detail = std::string(what) + " " + g.label(node) + " has weight " +
+                 std::to_string(actual) + ", expected " +
+                 std::to_string(expected);
+  report.issues.push_back(std::move(issue));
+}
+
+/// Draw up to `budget` (m1, m2, i, j) samples with m1 != m2, i != j.
+struct PairSampler {
+  Rng rng;
+  std::size_t k, t;
+
+  std::size_t m1 = 0, m2 = 0, i = 0, j = 0;
+
+  bool next() {
+    if (k < 2 || t < 2) return false;
+    m1 = rng.below(k);
+    m2 = rng.below(k - 1);
+    if (m2 >= m1) ++m2;
+    i = rng.below(t);
+    j = rng.below(t - 1);
+    if (j >= i) ++j;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string ValidationIssue::to_string() const {
+  std::ostringstream os;
+  os << "[" << gadget << "] " << property;
+  append_location(os, *this);
+  os << ": " << detail << " (expected " << expected << ", actual " << actual
+     << ")";
+  return std::move(os).str();
+}
+
+std::string ValidationReport::summary() const {
+  if (ok()) {
+    return "ok (" + std::to_string(checks_run) + " checks)";
+  }
+  std::ostringstream os;
+  os << issues.size() << " violation(s) in " << checks_run << " checks:\n";
+  const std::size_t shown = std::min<std::size_t>(issues.size(), 8);
+  for (std::size_t e = 0; e < shown; ++e) {
+    os << "  " << issues[e].to_string() << "\n";
+  }
+  if (shown < issues.size()) {
+    os << "  ... and " << (issues.size() - shown) << " more\n";
+  }
+  return std::move(os).str();
+}
+
+ValidationReport validate_linear_properties(const LinearConstruction& c,
+                                            std::size_t sample_budget,
+                                            std::uint64_t seed) {
+  ValidationReport report;
+  const auto& p = c.params();
+  const std::string gadget = "linear fixed G";
+  const graph::Graph& g = c.fixed_graph();
+
+  // Property 1 on every (or a sample of) witness index.
+  Rng rng(seed);
+  std::vector<std::size_t> witness_indices;
+  if (p.k <= sample_budget) {
+    for (std::size_t m = 0; m < p.k; ++m) witness_indices.push_back(m);
+  } else {
+    witness_indices = rng.sample(p.k, sample_budget);
+  }
+  for (std::size_t m : witness_indices) {
+    const auto witness = c.yes_witness(m);
+    check_witness_independent(g, witness, gadget, m, report);
+    ++report.checks_run;
+    const std::size_t expected_size =
+        c.num_players() * (1 + p.num_positions());
+    if (witness.size() != expected_size) {
+      ValidationIssue issue;
+      issue.property = "property1";
+      issue.gadget = gadget;
+      issue.index = m;
+      issue.expected = static_cast<std::int64_t>(expected_size);
+      issue.actual = static_cast<std::int64_t>(witness.size());
+      issue.detail = "yes-witness has the wrong cardinality";
+      report.issues.push_back(std::move(issue));
+    }
+  }
+
+  // Properties 2-3 on sampled cross-copy codeword pairs.
+  PairSampler sampler{Rng(seed + 1), p.k, c.num_players()};
+  for (std::size_t trial = 0; trial < sample_budget; ++trial) {
+    if (!sampler.next()) break;
+    const auto left = c.codeword_nodes(sampler.i, sampler.m1);
+    const auto right = c.codeword_nodes(sampler.j, sampler.m2);
+    check_codeword_matching(g, left, right, p.ell, gadget, sampler.i,
+                            sampler.j, sampler.m1, sampler.m2, report);
+    check_shared_positions(g, left, right, p.alpha, gadget, sampler.i,
+                           sampler.j, sampler.m1, sampler.m2, report);
+  }
+
+  check_cut(c, gadget, report);
+  return report;
+}
+
+ValidationReport validate_linear_instance(const LinearConstruction& c,
+                                          const comm::PromiseInstance& inst,
+                                          const graph::Graph& gx) {
+  ValidationReport report;
+  const auto& p = c.params();
+  const std::string gadget = "linear G_xbar";
+
+  ++report.checks_run;
+  if (gx.num_nodes() != c.num_nodes()) {
+    ValidationIssue issue;
+    issue.property = "shape";
+    issue.gadget = gadget;
+    issue.expected = static_cast<std::int64_t>(c.num_nodes());
+    issue.actual = static_cast<std::int64_t>(gx.num_nodes());
+    issue.detail = "node count mismatch";
+    report.issues.push_back(std::move(issue));
+    return report;  // addressing below would be meaningless
+  }
+  CLB_EXPECT(inst.t == c.num_players() && inst.k == p.k,
+             "validate_linear_instance: instance shape mismatch");
+
+  // Weights: w(v^i_m) = ell iff x^i_m = 1; every code node weighs 1.
+  for (std::size_t i = 0; i < c.num_players(); ++i) {
+    for (std::size_t m = 0; m < p.k; ++m) {
+      const graph::Weight expected =
+          inst.strings[i][m] ? static_cast<graph::Weight>(p.ell) : 1;
+      check_weight(gx, c.a_node(i, m), expected, gadget, i, m, "A-node",
+                   report);
+    }
+    for (std::size_t h = 0; h < p.num_positions(); ++h) {
+      for (NodeId node : c.clique_nodes(i, h)) {
+        check_weight(gx, node, 1, gadget, i, h, "code node", report);
+      }
+    }
+  }
+
+  check_same_edges(c.fixed_graph(), gx, gadget, report);
+  return report;
+}
+
+ValidationReport validate_quadratic_properties(const QuadraticConstruction& c,
+                                               std::size_t sample_budget,
+                                               std::uint64_t seed) {
+  ValidationReport report;
+  const auto& p = c.params();
+  const std::string gadget = "quadratic fixed F";
+  const graph::Graph& g = c.fixed_graph();
+
+  // Property 1: the Claim-6 witness is independent in the fixed graph (the
+  // input edges that can break it are exactly what instantiate() adds).
+  Rng rng(seed);
+  for (std::size_t trial = 0; trial < std::min(sample_budget, p.k * p.k);
+       ++trial) {
+    const std::size_t m1 = rng.below(p.k);
+    const std::size_t m2 = rng.below(p.k);
+    check_witness_independent(g, c.yes_witness(m1, m2), gadget,
+                              c.pair_index(m1, m2), report);
+  }
+
+  // Properties 2-3 per block on sampled cross-copy codeword pairs.
+  if (c.num_players() >= 2) {
+    PairSampler sampler{Rng(seed + 1), p.k, c.num_players()};
+    for (std::size_t trial = 0; trial < sample_budget; ++trial) {
+      if (!sampler.next()) break;
+      for (std::size_t b = 0; b < 2; ++b) {
+        const auto left = c.codeword_nodes(sampler.i, b, sampler.m1);
+        const auto right = c.codeword_nodes(sampler.j, b, sampler.m2);
+        check_codeword_matching(g, left, right, p.ell, gadget, sampler.i,
+                                sampler.j, sampler.m1, sampler.m2, report);
+        check_shared_positions(g, left, right, p.alpha, gadget, sampler.i,
+                               sampler.j, sampler.m1, sampler.m2, report);
+      }
+    }
+  }
+
+  check_cut(c, gadget, report);
+  return report;
+}
+
+ValidationReport validate_quadratic_instance(const QuadraticConstruction& c,
+                                             const comm::PromiseInstance& inst,
+                                             const graph::Graph& fx) {
+  ValidationReport report;
+  const auto& p = c.params();
+  const std::string gadget = "quadratic F_xbar";
+
+  ++report.checks_run;
+  if (fx.num_nodes() != c.num_nodes()) {
+    ValidationIssue issue;
+    issue.property = "shape";
+    issue.gadget = gadget;
+    issue.expected = static_cast<std::int64_t>(c.num_nodes());
+    issue.actual = static_cast<std::int64_t>(fx.num_nodes());
+    issue.detail = "node count mismatch";
+    report.issues.push_back(std::move(issue));
+    return report;
+  }
+  CLB_EXPECT(inst.t == c.num_players() && inst.k == c.string_length(),
+             "validate_quadratic_instance: instance shape mismatch");
+
+  // Fixed weights: every A-node in both blocks weighs ell; code nodes 1.
+  std::uint64_t expected_extra_edges = 0;
+  for (std::size_t i = 0; i < c.num_players(); ++i) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      for (std::size_t m = 0; m < p.k; ++m) {
+        check_weight(fx, c.a_node(i, b, m),
+                     static_cast<graph::Weight>(p.ell), gadget, i, m,
+                     "A-node", report);
+      }
+    }
+    // Input edges: {v^(i,1)_m1, v^(i,2)_m2} present iff x^i_(m1,m2) = 0.
+    for (std::size_t m1 = 0; m1 < p.k; ++m1) {
+      for (std::size_t m2 = 0; m2 < p.k; ++m2) {
+        ++report.checks_run;
+        const bool bit = inst.strings[i][c.pair_index(m1, m2)] != 0;
+        const bool edge = fx.has_edge(c.a_node(i, 0, m1), c.a_node(i, 1, m2));
+        if (!bit) ++expected_extra_edges;
+        if (edge == !bit) continue;
+        ValidationIssue issue;
+        issue.property = "input-edges";
+        issue.gadget = gadget;
+        issue.player_i = i;
+        issue.index = c.pair_index(m1, m2);
+        issue.u = c.a_node(i, 0, m1);
+        issue.v = c.a_node(i, 1, m2);
+        issue.expected = bit ? 0 : 1;
+        issue.actual = edge ? 1 : 0;
+        issue.detail = std::string("input edge rule violated: x=") +
+                       (bit ? "1" : "0") + " but edge is " +
+                       (edge ? "present" : "absent");
+        report.issues.push_back(std::move(issue));
+      }
+    }
+  }
+
+  // No edges beyond fixed + input ones.
+  ++report.checks_run;
+  const std::uint64_t expected_edges =
+      c.fixed_graph().num_edges() + expected_extra_edges;
+  if (fx.num_edges() != expected_edges) {
+    ValidationIssue issue;
+    issue.property = "edges";
+    issue.gadget = gadget;
+    issue.expected = static_cast<std::int64_t>(expected_edges);
+    issue.actual = static_cast<std::int64_t>(fx.num_edges());
+    issue.detail = "edge count disagrees with fixed + input edges";
+    report.issues.push_back(std::move(issue));
+  }
+  return report;
+}
+
+}  // namespace congestlb::lb

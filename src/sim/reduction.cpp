@@ -9,13 +9,12 @@ namespace {
 /// Shared implementation: `owner(v)` maps nodes to players, the thresholds
 /// come from the construction's gap predicate.
 template <typename OwnerFn>
-ReductionReport run_reduction(const graph::Graph& gx,
-                              const comm::PromiseInstance& inst,
-                              const congest::ProgramFactory& factory,
-                              comm::Blackboard& board,
-                              congest::NetworkConfig cfg, OwnerFn owner,
-                              std::size_t cut_edges, graph::Weight yes_weight,
-                              graph::Weight no_bound) {
+ReductionReport run_reduction(
+    const graph::Graph& gx, const comm::PromiseInstance& inst,
+    const congest::ProgramFactory& factory, comm::Blackboard& board,
+    congest::NetworkConfig cfg, OwnerFn owner,
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& cut,
+    graph::Weight yes_weight, graph::Weight no_bound) {
   CLB_EXPECT(!cfg.on_message,
              "reduction driver installs its own message observer");
   CLB_EXPECT(board.num_players() == inst.t,
@@ -24,21 +23,25 @@ ReductionReport run_reduction(const graph::Graph& gx,
   ReductionReport rep;
   rep.n = gx.num_nodes();
   rep.t = inst.t;
-  rep.cut_edges = cut_edges;
+  rep.cut_edges = cut.size();
   rep.yes_weight = yes_weight;
   rep.no_bound = no_bound;
   rep.ground_truth_disjoint = inst.answer_is_disjoint();
 
   // The simulation argument: cut-crossing messages go on the blackboard,
-  // charged to the owner of the sending node.
-  cfg.on_message = [&board, &rep, owner](std::size_t round,
-                                         graph::NodeId from, graph::NodeId to,
-                                         const congest::Message& msg) {
+  // charged to the owner of the sending node. Under fault injection the
+  // observer fires per *delivery*, so the board sees corrupted payloads as
+  // corrupted, echoes twice, and dropped messages never.
+  std::uint64_t observed_cut_bits = 0;
+  cfg.on_message = [&board, &rep, &observed_cut_bits, owner](
+                       std::size_t round, graph::NodeId from,
+                       graph::NodeId to, const congest::Message& msg) {
     const std::size_t po = owner(from);
     const std::size_t pd = owner(to);
     if (po == pd) return;  // internal to one player: simulated for free
     board.post(po, msg.data, msg.bits,
                "msg " + std::to_string(from) + "->" + std::to_string(to));
+    observed_cut_bits += msg.bits;
     if (rep.cut_bits_per_round.size() <= round) {
       rep.cut_bits_per_round.resize(round + 1, 0);
     }
@@ -52,6 +55,9 @@ ReductionReport run_reduction(const graph::Graph& gx,
   rep.bits_per_edge = net.bits_per_edge();
   rep.total_bits = stats.bits_sent;
   rep.algorithm_finished = stats.all_finished;
+  rep.algorithm_failed = stats.any_failed;
+  rep.net_stats = stats;
+  rep.failure_diagnostics = net.failure_diagnostics();
   rep.blackboard_bits = board.total_bits();
   rep.blackboard_entries = board.transcript().size();
   // Each undirected cut edge carries up to one message per *direction* per
@@ -60,15 +66,25 @@ ReductionReport run_reduction(const graph::Graph& gx,
   rep.theorem5_budget = static_cast<std::uint64_t>(rep.rounds) * 2 *
                         rep.cut_edges * rep.bits_per_edge;
   rep.accounting_ok = rep.blackboard_bits <= rep.theorem5_budget;
+  // Exactness: what the observer posted must equal what the network
+  // charged to the cut edges — the invariant faults must not bend.
+  std::uint64_t charged_cut_bits = 0;
+  for (auto [u, v] : cut) charged_cut_bits += net.bits_on_edge(u, v);
+  rep.cut_accounting_exact = observed_cut_bits == charged_cut_bits;
 
   // Read off the answer via the gap predicate: the strings intersect iff
-  // the graph has an IS of weight >= yes_weight (Definition 6).
-  const auto selected = net.selected_nodes();
-  CLB_EXPECT(gx.is_independent_set(selected),
-             "reduction: algorithm output is not an independent set");
-  rep.computed_weight = gx.weight_of(selected);
-  rep.decided_disjoint = rep.computed_weight < yes_weight;
-  rep.correct = rep.decided_disjoint == rep.ground_truth_disjoint;
+  // the graph has an IS of weight >= yes_weight (Definition 6). Only a run
+  // that actually completed gets to answer — a faulted run that failed()
+  // or timed out reports itself through the flags above instead of
+  // pretending its half-computed output means something.
+  if (stats.all_finished && !stats.any_failed) {
+    const auto selected = net.selected_nodes();
+    CLB_EXPECT(gx.is_independent_set(selected),
+               "reduction: algorithm output is not an independent set");
+    rep.computed_weight = gx.weight_of(selected);
+    rep.decided_disjoint = rep.computed_weight < yes_weight;
+    rep.correct = rep.decided_disjoint == rep.ground_truth_disjoint;
+  }
   return rep;
 }
 
@@ -82,7 +98,7 @@ ReductionReport run_linear_reduction(const lb::LinearConstruction& c,
   const graph::Graph gx = c.instantiate(inst);
   return run_reduction(
       gx, inst, factory, board, std::move(cfg),
-      [&c](graph::NodeId v) { return c.owner(v); }, c.cut_size(),
+      [&c](graph::NodeId v) { return c.owner(v); }, c.cut_edges(),
       c.yes_weight(), c.no_bound());
 }
 
@@ -94,7 +110,7 @@ ReductionReport run_quadratic_reduction(const lb::QuadraticConstruction& c,
   const graph::Graph fx = c.instantiate(inst);
   return run_reduction(
       fx, inst, factory, board, std::move(cfg),
-      [&c](graph::NodeId v) { return c.owner(v); }, c.cut_size(),
+      [&c](graph::NodeId v) { return c.owner(v); }, c.cut_edges(),
       c.yes_weight(), c.no_bound());
 }
 

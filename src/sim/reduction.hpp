@@ -9,14 +9,22 @@
 // computed independent set's weight off the gap predicate to answer promise
 // pairwise disjointness.
 //
-// The report checks the two facts Theorem 5 rests on:
+// The report checks the facts Theorem 5 rests on:
 //   1. accounting: blackboard bits <= rounds * |cut| * bits_per_edge;
-//   2. correctness: the gap predicate decides f(xbar) (when the supplied
-//      algorithm is exact, e.g. universal_maxis_factory).
+//   2. exactness: the bits posted to the blackboard equal the bits the
+//      network accounted on the cut edges — delivered traffic, nothing
+//      more, nothing less. This holds under fault injection too
+//      (NetworkConfig::faults): dropped messages are charged nowhere,
+//      corrupted and duplicated deliveries are charged everywhere;
+//   3. correctness: the gap predicate decides f(xbar) (when the supplied
+//      algorithm is exact, e.g. universal_maxis_factory, and the run
+//      completed — a faulted run that failed() reports itself instead).
 
 #pragma once
 
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "comm/blackboard.hpp"
 #include "comm/instances.hpp"
@@ -35,10 +43,10 @@ struct ReductionReport {
 
   std::uint64_t blackboard_bits = 0;   ///< bits posted for cut messages
   std::uint64_t blackboard_entries = 0;
-  /// Cut traffic per round (index = round as reported at send time); the
-  /// raw series behind the Theorem-5 accounting.
+  /// Cut traffic per round (index = round as reported at delivery time);
+  /// the raw series behind the Theorem-5 accounting.
   std::vector<std::uint64_t> cut_bits_per_round;
-  std::uint64_t total_bits = 0;        ///< all network traffic
+  std::uint64_t total_bits = 0;        ///< all delivered network traffic
   /// rounds * 2 * cut_edges * bits_per_edge (two directed messages per
   /// undirected cut edge per round).
   std::uint64_t theorem5_budget = 0;
@@ -50,12 +58,25 @@ struct ReductionReport {
   bool ground_truth_disjoint = false;  ///< f(xbar)
   bool correct = false;
   bool accounting_ok = false;          ///< blackboard_bits <= budget
+  /// Bits posted to the blackboard == bits the network charged to the cut
+  /// edges. The invariant that keeps Theorem-5 charging honest under
+  /// faults.
+  bool cut_accounting_exact = false;
   bool algorithm_finished = false;
+  bool algorithm_failed = false;  ///< some node gave up (fault deadline)
+
+  /// Full network statistics, including fault counters (drops, corruptions,
+  /// echoes, crashes) when cfg.faults was enabled.
+  congest::RunStats net_stats;
+  /// "node <id>: <diagnostic>" for every failed node.
+  std::vector<std::string> failure_diagnostics;
 };
 
 /// Simulate `factory`'s program on G_xbar for the linear family. The
 /// network bandwidth comes from cfg (0 = auto); cfg.on_message must be
-/// empty (the driver installs its own observer).
+/// empty (the driver installs its own observer). cfg.faults is honored:
+/// the run then exercises the adversarial schedule while the blackboard
+/// still sees exactly the delivered cut traffic.
 ReductionReport run_linear_reduction(const lb::LinearConstruction& c,
                                      const comm::PromiseInstance& inst,
                                      const congest::ProgramFactory& factory,

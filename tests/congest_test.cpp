@@ -335,6 +335,51 @@ TEST(Network, StatsAccumulateAcrossRunRounds) {
   EXPECT_EQ(net.rounds_executed(), 8u);
 }
 
+TEST(Network, ResumeDeliversInFlightMessages) {
+  // Messages sent in round r are consumed in round r+1 — including when
+  // the network is paused between the two. A single stepped round leaves
+  // every payload in flight; the next stepped round must deliver them.
+  auto g = triangle();
+  Network net(g, [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<EchoProgram>(1);
+  }, echo_cfg());
+  net.run_rounds(1);
+  auto outs = net.outputs();
+  EXPECT_EQ(outs, (std::vector<std::int64_t>{0, 0, 0}));  // all in flight
+  net.run_rounds(1);
+  outs = net.outputs();
+  EXPECT_EQ(outs, (std::vector<std::int64_t>{2, 2, 2}));  // all delivered
+}
+
+TEST(Network, MaxRoundsEnforcedAcrossRepeatedRunRounds) {
+  auto g = triangle();
+  NetworkConfig cfg = echo_cfg();
+  cfg.max_rounds = 5;
+  Network net(g, [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<EchoProgram>(1'000'000);
+  }, cfg);
+  net.run_rounds(3);
+  EXPECT_EQ(net.rounds_executed(), 3u);
+  net.run_rounds(10);  // would overshoot; must clamp at max_rounds
+  EXPECT_EQ(net.rounds_executed(), 5u);
+  net.run_rounds(1);
+  EXPECT_EQ(net.rounds_executed(), 5u);
+  EXPECT_FALSE(net.stats().all_finished);
+}
+
+TEST(Network, RunAfterRunRoundsRespectsMaxRounds) {
+  auto g = triangle();
+  NetworkConfig cfg = echo_cfg();
+  cfg.max_rounds = 6;
+  Network net(g, [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<EchoProgram>(1'000'000);
+  }, cfg);
+  net.run_rounds(4);
+  const RunStats stats = net.run();
+  EXPECT_EQ(stats.rounds, 6u);
+  EXPECT_FALSE(stats.all_finished);
+}
+
 TEST(Outbox, OneMessagePerNeighborPerRound) {
   Outbox out(2);
   out.send(0, std::move(MessageWriter().put(1, 1)).finish());

@@ -1,0 +1,440 @@
+// The fault-injection subsystem: determinism of schedules, exactness of
+// bit accounting under drop/corrupt/duplicate/crash, termination of the
+// fault-tolerant algorithms (finished or failed, never spinning to
+// max_rounds), and the fault-aware reduction driver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "comm/blackboard.hpp"
+#include "congest/algorithms/bfs_tree.hpp"
+#include "congest/algorithms/leader_election.hpp"
+#include "congest/algorithms/luby_mis.hpp"
+#include "congest/algorithms/universal_maxis.hpp"
+#include "congest/faults.hpp"
+#include "congest/network.hpp"
+#include "congest/transcript.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "lowerbound/linear_family.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "sim/reduction.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::congest {
+namespace {
+
+// ------------------------------------------------------------ fault plans --
+
+TEST(FaultPlan, IdenticalSeedsProduceIdenticalPlans) {
+  FaultConfig cfg;
+  cfg.crash_rate = 0.4;
+  cfg.crash_round_limit = 10;
+  cfg.recovery_delay = 3;
+  const FaultPlan a = make_fault_plan(cfg, 64, 1234);
+  const FaultPlan b = make_fault_plan(cfg, 64, 1234);
+  ASSERT_EQ(a.crashes.size(), b.crashes.size());
+  for (std::size_t v = 0; v < a.crashes.size(); ++v) {
+    ASSERT_EQ(a.crashes[v].has_value(), b.crashes[v].has_value());
+    if (a.crashes[v]) {
+      EXPECT_EQ(a.crashes[v]->crash_round, b.crashes[v]->crash_round);
+      EXPECT_EQ(a.crashes[v]->recover_round, b.crashes[v]->recover_round);
+    }
+  }
+  EXPECT_GT(a.num_crashing_nodes(), 0u);
+  EXPECT_EQ(a.num_permanently_crashed(), 0u);  // recovery_delay > 0
+  EXPECT_FALSE(a.describe().empty());
+}
+
+TEST(FaultPlan, DifferentSeedsDiffer) {
+  FaultConfig cfg;
+  cfg.crash_rate = 0.5;
+  const FaultPlan a = make_fault_plan(cfg, 256, 1);
+  const FaultPlan b = make_fault_plan(cfg, 256, 2);
+  bool any_difference = false;
+  for (std::size_t v = 0; v < 256; ++v) {
+    if (a.crashes[v].has_value() != b.crashes[v].has_value()) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjector, ClassifyIsPureAndOrderIndependent) {
+  FaultConfig cfg;
+  cfg.drop_rate = 0.2;
+  cfg.corrupt_rate = 0.1;
+  cfg.duplicate_rate = 0.1;
+  const FaultInjector inj(cfg, 16, 99);
+  // Re-querying any coordinate gives the same answer, in any order.
+  std::vector<FaultAction> forward, backward;
+  for (std::size_t r = 0; r < 50; ++r) forward.push_back(inj.classify(r, 3, 7));
+  for (std::size_t r = 50; r-- > 0;) backward.push_back(inj.classify(r, 3, 7));
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+  // All four actions occur at these rates within a few hundred draws.
+  std::size_t drops = 0, corrupts = 0, dups = 0, delivers = 0;
+  for (std::size_t r = 0; r < 300; ++r) {
+    switch (inj.classify(r, 1, 2)) {
+      case FaultAction::kDrop: ++drops; break;
+      case FaultAction::kCorrupt: ++corrupts; break;
+      case FaultAction::kDuplicate: ++dups; break;
+      case FaultAction::kDeliver: ++delivers; break;
+    }
+  }
+  EXPECT_GT(drops, 0u);
+  EXPECT_GT(corrupts, 0u);
+  EXPECT_GT(dups, 0u);
+  EXPECT_GT(delivers, 0u);
+}
+
+TEST(FaultInjector, RejectsBadRates) {
+  FaultConfig cfg;
+  cfg.drop_rate = 0.7;
+  cfg.corrupt_rate = 0.7;
+  EXPECT_THROW(FaultInjector(cfg, 4, 1), InvariantError);
+  cfg = FaultConfig{};
+  cfg.drop_rate = -0.1;
+  EXPECT_THROW(FaultInjector(cfg, 4, 1), InvariantError);
+}
+
+TEST(FaultInjector, CorruptionKeepsBitCountAndFlipsSomething) {
+  FaultConfig cfg;
+  cfg.corrupt_rate = 1.0;
+  const FaultInjector inj(cfg, 4, 7);
+  for (std::size_t r = 0; r < 20; ++r) {
+    Message m = std::move(MessageWriter().put(0x2DEAD, 20)).finish();
+    const Message original = m;
+    inj.corrupt(r, 0, 1, m);
+    EXPECT_EQ(m.bits, original.bits);
+    EXPECT_EQ(m.data.size(), original.data.size());
+    // Applying the same corruption twice undoes it (pure XOR of fixed bits)
+    // — the deterministic-schedule property at the bit level.
+    Message twice = m;
+    inj.corrupt(r, 0, 1, twice);
+    EXPECT_EQ(twice.data, original.data);
+  }
+  // At least some round must actually flip bits (1-3 flips, possibly on
+  // the same bit — but not all rounds can cancel).
+  bool changed = false;
+  for (std::size_t r = 0; r < 20 && !changed; ++r) {
+    Message m = std::move(MessageWriter().put(0x2DEAD, 20)).finish();
+    const auto before = m.data;
+    inj.corrupt(r, 0, 1, m);
+    changed = m.data != before;
+  }
+  EXPECT_TRUE(changed);
+}
+
+// ------------------------------------------------- deterministic networks --
+
+/// Floods its id for a fixed number of rounds; counts messages heard.
+class FloodProgram final : public NodeProgram {
+ public:
+  explicit FloodProgram(std::size_t rounds_to_run)
+      : rounds_to_run_(rounds_to_run) {}
+
+  void round(const NodeInfo& info, const Inbox& inbox, Outbox& outbox,
+             Rng&) override {
+    for (const auto& m : inbox) {
+      if (m) ++heard_;
+    }
+    ++rounds_seen_;
+    if (rounds_seen_ > rounds_to_run_ || info.neighbors.empty()) return;
+    outbox.send_all(std::move(MessageWriter().put(info.id, 16)).finish());
+  }
+  bool finished() const override { return rounds_seen_ > rounds_to_run_; }
+  std::int64_t output() const override {
+    return static_cast<std::int64_t>(heard_);
+  }
+
+ private:
+  std::size_t rounds_to_run_;
+  std::size_t rounds_seen_ = 0;
+  std::size_t heard_ = 0;
+};
+
+ProgramFactory flood_factory(std::size_t rounds) {
+  return [rounds](NodeId, const NodeInfo&) {
+    return std::make_unique<FloodProgram>(rounds);
+  };
+}
+
+NetworkConfig faulty_config(double drop, double corrupt, double dup,
+                            std::uint64_t seed) {
+  NetworkConfig cfg;
+  cfg.seed = seed;
+  cfg.faults.drop_rate = drop;
+  cfg.faults.corrupt_rate = corrupt;
+  cfg.faults.duplicate_rate = dup;
+  return cfg;
+}
+
+TEST(FaultyNetwork, IdenticalSeedsGiveIdenticalRunsAndStats) {
+  Rng rng(5);
+  const auto g = graph::gnp_random_connected(rng, 24, 0.2);
+  const auto cfg = faulty_config(0.1, 0.05, 0.05, 0xFEED);
+  Network a(g, flood_factory(12), cfg);
+  Network b(g, flood_factory(12), cfg);
+  const RunStats sa = a.run();
+  const RunStats sb = b.run();
+  EXPECT_EQ(sa.rounds, sb.rounds);
+  EXPECT_EQ(sa.messages_sent, sb.messages_sent);
+  EXPECT_EQ(sa.bits_sent, sb.bits_sent);
+  EXPECT_EQ(sa.messages_dropped, sb.messages_dropped);
+  EXPECT_EQ(sa.messages_corrupted, sb.messages_corrupted);
+  EXPECT_EQ(sa.messages_duplicated, sb.messages_duplicated);
+  EXPECT_EQ(a.outputs(), b.outputs());
+  EXPECT_GT(sa.messages_dropped, 0u);
+  EXPECT_GT(sa.messages_corrupted, 0u);
+  EXPECT_GT(sa.messages_duplicated, 0u);
+}
+
+TEST(FaultyNetwork, DifferentSeedsGiveDifferentSchedules) {
+  Rng rng(6);
+  const auto g = graph::gnp_random_connected(rng, 24, 0.2);
+  Network a(g, flood_factory(12), faulty_config(0.1, 0.0, 0.0, 1));
+  Network b(g, flood_factory(12), faulty_config(0.1, 0.0, 0.0, 2));
+  const RunStats sa = a.run();
+  const RunStats sb = b.run();
+  EXPECT_NE(sa.messages_dropped, sb.messages_dropped);
+}
+
+// ----------------------------------------------------------- accounting --
+
+TEST(FaultyNetwork, AccountingMatchesDeliveredTrafficExactly) {
+  Rng rng(7);
+  const auto g = graph::gnp_random_connected(rng, 20, 0.25);
+  auto cfg = faulty_config(0.15, 0.1, 0.1, 0xACC0);
+  TranscriptRecorder recorder;
+  cfg.on_message = recorder.observer();
+  Network net(g, flood_factory(10), cfg);
+  const RunStats stats = net.run();
+
+  // Observer deliveries == stats == per-edge charges: the invariant that
+  // keeps blackboard charging honest.
+  EXPECT_EQ(recorder.num_messages(), stats.messages_sent);
+  EXPECT_EQ(recorder.total_bits(), stats.bits_sent);
+  std::uint64_t edge_total = 0;
+  for (auto [u, v] : graph::edge_list(g)) edge_total += net.bits_on_edge(u, v);
+  EXPECT_EQ(edge_total, stats.bits_sent);
+  EXPECT_GT(stats.messages_dropped, 0u);
+}
+
+TEST(FaultyNetwork, DropOnlyConservesAttemptedMessages) {
+  // With only drop faults, every attempted message is either delivered or
+  // counted dropped; the fault-free run supplies the attempted total.
+  Rng rng(8);
+  const auto g = graph::gnp_random_connected(rng, 18, 0.3);
+  NetworkConfig clean;
+  clean.seed = 42;
+  Network baseline(g, flood_factory(9), clean);
+  const RunStats clean_stats = baseline.run();
+
+  auto cfg = faulty_config(0.2, 0.0, 0.0, 42);
+  Network net(g, flood_factory(9), cfg);
+  const RunStats stats = net.run();
+  EXPECT_EQ(stats.messages_sent + stats.messages_dropped,
+            clean_stats.messages_sent);
+  EXPECT_EQ(stats.bits_sent + stats.bits_dropped, clean_stats.bits_sent);
+}
+
+TEST(FaultyNetwork, FaultFreeConfigLeavesCountersZero) {
+  Rng rng(9);
+  const auto g = graph::gnp_random_connected(rng, 12, 0.3);
+  Network net(g, flood_factory(5), NetworkConfig{});
+  const RunStats stats = net.run();
+  EXPECT_EQ(stats.messages_dropped, 0u);
+  EXPECT_EQ(stats.messages_corrupted, 0u);
+  EXPECT_EQ(stats.messages_duplicated, 0u);
+  EXPECT_EQ(stats.nodes_crashed, 0u);
+  EXPECT_EQ(net.fault_plan(), nullptr);
+}
+
+// -------------------------------------------------------------- crashes --
+
+TEST(FaultyNetwork, PermanentCrashesTerminateWithoutSpinning) {
+  Rng rng(10);
+  const auto g = graph::gnp_random_connected(rng, 16, 0.3);
+  NetworkConfig cfg;
+  cfg.seed = 0xDEAD;
+  cfg.max_rounds = 100000;
+  cfg.faults.crash_rate = 0.3;
+  cfg.faults.crash_round_limit = 5;
+  Network net(g, fault_tolerant_bfs_factory(0), cfg);
+  const RunStats stats = net.run();
+  ASSERT_NE(net.fault_plan(), nullptr);
+  EXPECT_EQ(stats.nodes_crashed, net.fault_plan()->num_crashing_nodes());
+  EXPECT_GT(stats.nodes_crashed, 0u);
+  // Crashed nodes never finish, yet the run halts far below max_rounds.
+  EXPECT_LT(stats.rounds, 1000u);
+  EXPECT_FALSE(stats.all_finished);
+}
+
+TEST(FaultyNetwork, CrashRecoveryIsCountedAndRunCompletes) {
+  Rng rng(11);
+  const auto g = graph::gnp_random_connected(rng, 16, 0.3);
+  NetworkConfig cfg;
+  cfg.seed = 0xBEEF;
+  cfg.faults.crash_rate = 0.3;
+  cfg.faults.crash_round_limit = 5;
+  cfg.faults.recovery_delay = 4;
+  Network net(g, fault_tolerant_bfs_factory(0), cfg);
+  const RunStats stats = net.run();
+  EXPECT_GT(stats.nodes_crashed, 0u);
+  EXPECT_EQ(stats.nodes_recovered, stats.nodes_crashed);
+  // With recovery, every node eventually hears a level: all finish.
+  EXPECT_TRUE(stats.all_finished);
+  EXPECT_FALSE(stats.any_failed);
+}
+
+// --------------------------------------- fault-tolerant algorithms: drop --
+
+class DropSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  graph::Graph make_graph() {
+    Rng rng(GetParam());
+    return graph::gnp_random_connected(rng, 20 + rng.below(20), 0.15);
+  }
+  NetworkConfig drop_config() {
+    NetworkConfig cfg;
+    cfg.seed = GetParam() * 7919 + 1;
+    cfg.max_rounds = 50000;
+    cfg.faults.drop_rate = 0.05;
+    return cfg;
+  }
+};
+
+TEST_P(DropSweep, FaultTolerantBfsConvergesToTrueLevels) {
+  const auto g = make_graph();
+  Network net(g, fault_tolerant_bfs_factory(0), drop_config());
+  const RunStats stats = net.run();
+  EXPECT_TRUE(stats.all_finished);
+  EXPECT_FALSE(stats.any_failed);
+  EXPECT_LT(stats.rounds, drop_config().max_rounds);
+  const auto dist = graph::bfs_distances(g, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(net.program(v).output(),
+              static_cast<std::int64_t>(dist[v] + 1))
+        << "node " << v;
+  }
+}
+
+TEST_P(DropSweep, FaultTolerantLeaderElectionElectsTheMaximum) {
+  const auto g = make_graph();
+  Network net(g, fault_tolerant_leader_election_factory(), drop_config());
+  const RunStats stats = net.run();
+  EXPECT_TRUE(stats.all_finished);
+  EXPECT_FALSE(stats.any_failed);
+  const auto leaders = net.selected_nodes();
+  ASSERT_EQ(leaders.size(), 1u);
+  EXPECT_EQ(leaders[0], g.num_nodes() - 1);
+}
+
+TEST_P(DropSweep, FaultTolerantLubyDecidedSetIsIndependentAndTerminal) {
+  const auto g = make_graph();
+  Network net(g, fault_tolerant_luby_mis_factory(), drop_config());
+  const RunStats stats = net.run();
+  EXPECT_LT(stats.rounds, drop_config().max_rounds);
+  // Every node is terminal: finished (decided) or failed (reported), no
+  // silent spinning.
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(net.program(v).finished() || net.program(v).failed())
+        << "node " << v;
+  }
+  // Safety: whatever was decided into the set is independent.
+  EXPECT_TRUE(g.is_independent_set(net.selected_nodes()));
+  // Under 5% drop the gate stalls rarely: expect full completion.
+  EXPECT_TRUE(stats.all_finished);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DropSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------- corruption and duplication --
+
+TEST(FaultTolerance, BfsTerminatesUnderCorruptionAndDuplication) {
+  Rng rng(21);
+  const auto g = graph::gnp_random_connected(rng, 24, 0.2);
+  auto cfg = faulty_config(0.05, 0.1, 0.1, 0xC0DE);
+  cfg.max_rounds = 50000;
+  Network net(g, fault_tolerant_bfs_factory(0), cfg);
+  const RunStats stats = net.run();
+  EXPECT_LT(stats.rounds, cfg.max_rounds);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_TRUE(net.program(v).finished() || net.program(v).failed());
+  }
+  EXPECT_GT(stats.messages_corrupted, 0u);
+}
+
+TEST(FaultTolerance, FailedNodesReportDiagnostics) {
+  // A root that never exists: every non-root node times out and reports.
+  const auto g = graph::path_graph(4);
+  NetworkConfig cfg;
+  cfg.faults.drop_rate = 1.0;  // nothing ever arrives
+  cfg.faults.crash_rate = 0.0;
+  cfg.seed = 3;
+  cfg.max_rounds = 10000;
+  Network net(g, fault_tolerant_bfs_factory(0, 30), cfg);
+  const RunStats stats = net.run();
+  EXPECT_TRUE(stats.any_failed);
+  EXPECT_LT(stats.rounds, cfg.max_rounds);
+  const auto diags = net.failure_diagnostics();
+  ASSERT_EQ(diags.size(), 3u);  // everyone but the root
+  EXPECT_NE(diags[0].find("never heard"), std::string::npos);
+}
+
+// ------------------------------------------------------ reduction driver --
+
+LocalMaxIsSolver exact_solver() {
+  return [](const graph::Graph& g) { return maxis::solve_exact(g).nodes; };
+}
+
+TEST(FaultyReduction, CutAccountingStaysExactUnderFaults) {
+  const auto params =
+      lb::GadgetParams::for_linear_separation(2, 1, std::size_t{4});
+  const lb::LinearConstruction c(params, 2);
+  Rng rng(31);
+  const auto inst = comm::make_uniquely_intersecting(params.k, 2, rng);
+
+  congest::NetworkConfig cfg;
+  cfg.bits_per_edge = universal_required_bits(
+      c.num_nodes(), static_cast<graph::Weight>(params.ell));
+  cfg.seed = 0xFA11;
+  // The universal gossip algorithm is not fault-tolerant; cap the rounds —
+  // the accounting invariant must hold whether or not the run completed.
+  cfg.max_rounds = 300;
+  cfg.faults.drop_rate = 0.1;
+  cfg.faults.corrupt_rate = 0.0;  // corrupted tokens would crash decoding
+  cfg.faults.duplicate_rate = 0.05;
+  comm::Blackboard board(2);
+  const auto rep = sim::run_linear_reduction(
+      c, inst, universal_maxis_factory(exact_solver()), board, cfg);
+  EXPECT_TRUE(rep.cut_accounting_exact);
+  EXPECT_TRUE(rep.accounting_ok);
+  EXPECT_GT(rep.net_stats.messages_dropped, 0u);
+}
+
+TEST(FaultyReduction, FaultFreeRunsKeepDecidingCorrectly) {
+  const auto params =
+      lb::GadgetParams::for_linear_separation(2, 1, std::size_t{4});
+  const lb::LinearConstruction c(params, 2);
+  Rng rng(32);
+  const auto inst = comm::make_pairwise_disjoint(params.k, 2, rng);
+  congest::NetworkConfig cfg;
+  cfg.bits_per_edge = universal_required_bits(
+      c.num_nodes(), static_cast<graph::Weight>(params.ell));
+  cfg.max_rounds = 200'000;
+  comm::Blackboard board(2);
+  const auto rep = sim::run_linear_reduction(
+      c, inst, universal_maxis_factory(exact_solver()), board, cfg);
+  EXPECT_TRUE(rep.correct);
+  EXPECT_TRUE(rep.cut_accounting_exact);
+  EXPECT_TRUE(rep.algorithm_finished);
+  EXPECT_FALSE(rep.algorithm_failed);
+}
+
+}  // namespace
+}  // namespace congestlb::congest

@@ -8,6 +8,8 @@
 
 #include "comm/blackboard.hpp"
 #include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "congest/transcript.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "maxis/bitset.hpp"
@@ -151,6 +153,99 @@ TEST_P(FuzzSweep, BlackboardTranscriptRoundTrip) {
       ASSERT_EQ(comm::Blackboard::read_bits(entry), bitvecs[bi]);
       ++bi;
     }
+  }
+}
+
+/// Floods its id for a fixed number of rounds — enough traffic to exercise
+/// every fault path while terminating on its own.
+class FuzzFloodProgram final : public congest::NodeProgram {
+ public:
+  explicit FuzzFloodProgram(std::size_t rounds_to_run)
+      : rounds_to_run_(rounds_to_run) {}
+
+  void round(const congest::NodeInfo& info, const congest::Inbox& inbox,
+             congest::Outbox& outbox, Rng&) override {
+    for (const auto& m : inbox) {
+      if (m) ++heard_;
+    }
+    ++rounds_seen_;
+    if (rounds_seen_ > rounds_to_run_ || info.neighbors.empty()) return;
+    outbox.send_all(
+        std::move(congest::MessageWriter().put(info.id, 16)).finish());
+  }
+  bool finished() const override { return rounds_seen_ > rounds_to_run_; }
+  std::int64_t output() const override {
+    return static_cast<std::int64_t>(heard_);
+  }
+
+ private:
+  std::size_t rounds_to_run_;
+  std::size_t rounds_seen_ = 0;
+  std::size_t heard_ = 0;
+};
+
+TEST_P(FuzzSweep, FaultSchedulesKeepBitAccountingExact) {
+  // Random graphs x random fault mixes (drop/corrupt/duplicate/crash, with
+  // and without recovery): every run must (a) terminate well below
+  // max_rounds, (b) charge exactly the delivered traffic — observer counts
+  // == RunStats == per-edge totals — and (c) replay identically from its
+  // seed.
+  Rng rng(GetParam() + 400);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 4 + rng.below(32);
+    const auto g = graph::gnp_random_connected(rng, n, 0.1 + rng.uniform() * 0.4);
+    const std::size_t flood_rounds = 1 + rng.below(12);
+
+    congest::NetworkConfig cfg;
+    cfg.seed = rng.next();
+    cfg.bits_per_edge = 16;  // the flood payload width
+    cfg.max_rounds = 1000;
+    cfg.faults.drop_rate = rng.uniform() * 0.4;
+    cfg.faults.corrupt_rate = rng.uniform() * 0.15;
+    cfg.faults.duplicate_rate = rng.uniform() * 0.15;
+    if (rng.chance(0.5)) {
+      cfg.faults.crash_rate = rng.uniform() * 0.3;
+      cfg.faults.crash_round_limit = 1 + rng.below(8);
+      cfg.faults.recovery_delay = rng.chance(0.5) ? 1 + rng.below(4) : 0;
+    }
+    const auto factory = [flood_rounds](graph::NodeId,
+                                        const congest::NodeInfo&) {
+      return std::make_unique<FuzzFloodProgram>(flood_rounds);
+    };
+
+    congest::TranscriptRecorder recorder;
+    auto observed_cfg = cfg;
+    observed_cfg.on_message = recorder.observer();
+    congest::Network net(g, factory, observed_cfg);
+    const congest::RunStats stats = net.run();
+
+    // (a) terminating run with meaningful stats.
+    ASSERT_LT(stats.rounds, cfg.max_rounds) << "fuzz seed " << cfg.seed;
+    ASSERT_GT(stats.rounds, 0u);
+    if (stats.nodes_crashed == 0) {
+      ASSERT_GE(stats.rounds, flood_rounds);
+    }
+
+    // (b) the bit-accounting invariant.
+    ASSERT_EQ(recorder.num_messages(), stats.messages_sent);
+    ASSERT_EQ(recorder.total_bits(), stats.bits_sent);
+    std::uint64_t edge_total = 0;
+    for (auto [u, v] : graph::edge_list(g)) {
+      edge_total += net.bits_on_edge(u, v);
+    }
+    ASSERT_EQ(edge_total, stats.bits_sent) << "fuzz seed " << cfg.seed;
+
+    // (c) the same seed replays the same schedule.
+    congest::Network replay(g, factory, cfg);
+    const congest::RunStats again = replay.run();
+    ASSERT_EQ(again.rounds, stats.rounds);
+    ASSERT_EQ(again.messages_sent, stats.messages_sent);
+    ASSERT_EQ(again.bits_sent, stats.bits_sent);
+    ASSERT_EQ(again.messages_dropped, stats.messages_dropped);
+    ASSERT_EQ(again.messages_corrupted, stats.messages_corrupted);
+    ASSERT_EQ(again.messages_duplicated, stats.messages_duplicated);
+    ASSERT_EQ(again.nodes_crashed, stats.nodes_crashed);
+    ASSERT_EQ(replay.outputs(), net.outputs());
   }
 }
 

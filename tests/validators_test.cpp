@@ -1,0 +1,178 @@
+// The invariant-validator layer: honest constructions pass with a nonzero
+// check count; tampered instances produce structured diagnostics that name
+// the property, the gadget, and the offending vertex or edge.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "comm/instances.hpp"
+#include "lowerbound/validators.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::lb {
+namespace {
+
+GadgetParams small_params() { return GadgetParams::from_l_alpha(2, 1, 3); }
+
+// --------------------------------------------------------------- linear --
+
+TEST(LinearValidator, HonestFixedConstructionPasses) {
+  for (std::size_t t : {2u, 3u, 4u}) {
+    const LinearConstruction c(small_params(), t);
+    const auto rep = validate_linear_properties(c);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_GT(rep.checks_run, 0u);
+    EXPECT_NE(rep.summary().find("ok"), std::string::npos);
+  }
+}
+
+TEST(LinearValidator, SamplingIsDeterministicInSeed) {
+  const LinearConstruction c(small_params(), 3);
+  const auto a = validate_linear_properties(c, 32, 7);
+  const auto b = validate_linear_properties(c, 32, 7);
+  EXPECT_EQ(a.checks_run, b.checks_run);
+  EXPECT_EQ(a.issues.size(), b.issues.size());
+}
+
+TEST(LinearValidator, HonestInstancePasses) {
+  const auto p = small_params();
+  const LinearConstruction c(p, 2);
+  Rng rng(41);
+  const auto inst = comm::make_uniquely_intersecting(p.k, 2, rng);
+  const auto gx = c.instantiate(inst);
+  const auto rep = validate_linear_instance(c, inst, gx);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.checks_run, 0u);
+}
+
+TEST(LinearValidator, TamperedWeightIsLocatedExactly) {
+  const auto p = small_params();
+  const LinearConstruction c(p, 2);
+  Rng rng(42);
+  const auto inst = comm::make_uniquely_intersecting(p.k, 2, rng);
+  auto gx = c.instantiate(inst);
+
+  // Flip one A-node weight away from the instantiation rule.
+  const graph::NodeId victim = c.a_node(1, 2);
+  const graph::Weight honest = gx.weight(victim);
+  const graph::Weight wrong =
+      honest == 1 ? static_cast<graph::Weight>(p.ell) : graph::Weight{1};
+  gx.set_weight(victim, wrong);
+
+  const auto rep = validate_linear_instance(c, inst, gx);
+  ASSERT_FALSE(rep.ok());
+  const auto hit = std::find_if(
+      rep.issues.begin(), rep.issues.end(),
+      [&](const ValidationIssue& is) { return is.u == victim; });
+  ASSERT_NE(hit, rep.issues.end()) << rep.summary();
+  EXPECT_EQ(hit->property, "weights");
+  EXPECT_EQ(hit->actual, static_cast<std::int64_t>(wrong));
+  EXPECT_EQ(hit->expected, static_cast<std::int64_t>(honest));
+  EXPECT_FALSE(hit->to_string().empty());
+}
+
+TEST(LinearValidator, ExtraEdgeIsReported) {
+  const auto p = small_params();
+  const LinearConstruction c(p, 2);
+  Rng rng(43);
+  const auto inst = comm::make_pairwise_disjoint(p.k, 2, rng);
+  auto gx = c.instantiate(inst);
+
+  // Splice in an edge the construction never creates: two A-nodes of
+  // *different* copies (all cross-copy edges run between code nodes).
+  const graph::NodeId u = c.a_node(0, 0);
+  const graph::NodeId v = c.a_node(1, 0);
+  ASSERT_FALSE(gx.has_edge(u, v));
+  gx.add_edge(u, v);
+
+  const auto rep = validate_linear_instance(c, inst, gx);
+  ASSERT_FALSE(rep.ok());
+  const auto& is = rep.issues.front();
+  EXPECT_EQ(is.property, "edges");
+  EXPECT_FALSE(is.detail.empty());
+}
+
+TEST(LinearValidator, WrongInstanceShapeIsRejectedNotCrashed) {
+  const auto p = small_params();
+  const LinearConstruction c(p, 2);
+  Rng rng(44);
+  // Honest graph, but validated against a *different* instance: the weight
+  // rule can no longer hold everywhere (the two instances differ in some
+  // bit with overwhelming probability at these sizes; both draws are
+  // deterministic, so this test is stable).
+  const auto inst_a = comm::make_uniquely_intersecting(p.k, 2, rng);
+  const auto inst_b = comm::make_pairwise_disjoint(p.k, 2, rng);
+  ASSERT_NE(inst_a.strings, inst_b.strings);
+  const auto gx = c.instantiate(inst_a);
+  const auto rep = validate_linear_instance(c, inst_b, gx);
+  EXPECT_FALSE(rep.ok());
+}
+
+// ------------------------------------------------------------ quadratic --
+
+TEST(QuadraticValidator, HonestFixedConstructionPasses) {
+  for (std::size_t t : {1u, 2u, 3u}) {
+    const QuadraticConstruction c(small_params(), t);
+    const auto rep = validate_quadratic_properties(c);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
+    EXPECT_GT(rep.checks_run, 0u);
+  }
+}
+
+TEST(QuadraticValidator, HonestInstancePasses) {
+  const auto p = small_params();
+  const QuadraticConstruction c(p, 2);
+  Rng rng(45);
+  const auto inst =
+      comm::make_uniquely_intersecting(c.string_length(), 2, rng, 0.3);
+  const auto fx = c.instantiate(inst);
+  const auto rep = validate_quadratic_instance(c, inst, fx);
+  EXPECT_TRUE(rep.ok()) << rep.summary();
+  EXPECT_GT(rep.checks_run, 0u);
+}
+
+TEST(QuadraticValidator, TamperedACliqueWeightIsReported) {
+  const auto p = small_params();
+  const QuadraticConstruction c(p, 2);
+  Rng rng(46);
+  const auto inst =
+      comm::make_pairwise_disjoint(c.string_length(), 2, rng, 0.4);
+  auto fx = c.instantiate(inst);
+
+  // A-node weights are *fixed* at ell in the quadratic family; lower one.
+  const graph::NodeId victim = c.a_node(1, 1, 0);
+  ASSERT_EQ(fx.weight(victim), static_cast<graph::Weight>(p.ell));
+  fx.set_weight(victim, 1);
+
+  const auto rep = validate_quadratic_instance(c, inst, fx);
+  ASSERT_FALSE(rep.ok());
+  const auto hit = std::find_if(
+      rep.issues.begin(), rep.issues.end(),
+      [&](const ValidationIssue& is) { return is.u == victim; });
+  ASSERT_NE(hit, rep.issues.end()) << rep.summary();
+  EXPECT_EQ(hit->expected, static_cast<std::int64_t>(p.ell));
+  EXPECT_EQ(hit->actual, 1);
+}
+
+TEST(QuadraticValidator, MismatchedInputEdgesAreReported) {
+  const auto p = small_params();
+  const QuadraticConstruction c(p, 2);
+  Rng rng(47);
+  // Validate the instantiation of one honest instance against a different
+  // honest instance: wherever their bits differ, an input edge is present
+  // in the graph but absent per the instance (or vice versa).
+  const auto inst_a =
+      comm::make_uniquely_intersecting(c.string_length(), 2, rng, 0.4);
+  const auto inst_b =
+      comm::make_pairwise_disjoint(c.string_length(), 2, rng, 0.4);
+  ASSERT_NE(inst_a.strings, inst_b.strings);
+  const auto fx_a = c.instantiate(inst_a);
+  const auto rep = validate_quadratic_instance(c, inst_b, fx_a);
+  ASSERT_FALSE(rep.ok());
+  EXPECT_FALSE(rep.issues.front().detail.empty());
+  EXPECT_FALSE(rep.summary().empty());
+}
+
+}  // namespace
+}  // namespace congestlb::lb
