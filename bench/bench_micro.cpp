@@ -1,9 +1,18 @@
 // Google-benchmark microbenchmarks for the hot substrates: Reed-Solomon
 // encoding, Hopcroft-Karp on the Figure-2 anti-matchings, branch-and-bound
-// on gadget instances, gadget construction itself, blackboard posting, and
-// raw CONGEST round throughput.
+// on gadget instances, gadget construction itself, blackboard posting, the
+// engine's Topology snapshot / bulk graph build, and raw CONGEST round
+// throughput.
+//
+// A custom main (bottom of file) mirrors the console run into
+// BENCH_micro.json — google-benchmark's own JSON format — so CI can archive
+// the numbers alongside BENCH_simulation.json (see docs/PERFORMANCE.md).
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "codes/params.hpp"
 #include "comm/blackboard.hpp"
@@ -11,6 +20,8 @@
 #include "comm/instances.hpp"
 #include "congest/algorithms/greedy_mis.hpp"
 #include "congest/network.hpp"
+#include "congest/topology.hpp"
+#include "graph/generators.hpp"
 #include "graph/matching.hpp"
 #include "lowerbound/linear_family.hpp"
 #include "lowerbound/structured_solver.hpp"
@@ -127,4 +138,110 @@ void BM_PromiseInstanceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_PromiseInstanceGeneration)->Arg(1024)->Arg(16384);
 
+void BM_TopologyBuild(benchmark::State& state) {
+  // The per-Network cost of the CSR + reverse-slot snapshot (topology.hpp).
+  clb::Rng rng(3);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto g = clb::graph::gnp_random_connected(rng, n, 8.0 / static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clb::congest::Topology::build(g));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_TopologyBuild)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BulkGraphBuild(benchmark::State& state) {
+  // Batch add_edges (append-unsorted, sort once) on a gnp edge list.
+  clb::Rng rng(4);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto src =
+      clb::graph::gnp_random_connected(rng, n, 16.0 / static_cast<double>(n));
+  const auto edges = clb::graph::edge_list(src);
+  for (auto _ : state) {
+    clb::graph::Graph g(n);
+    g.reserve_edges(edges.size());
+    g.add_edges(edges);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_BulkGraphBuild)->Arg(1024)->Arg(8192);
+
+/// Floods a 16-bit payload forever — the steady-state arena workload.
+class MicroFlood final : public clb::congest::NodeProgram {
+ public:
+  void round(const clb::congest::NodeInfo& info,
+             const clb::congest::Inbox& inbox, clb::congest::Outbox& outbox,
+             clb::Rng&) override {
+    for (const auto& m : inbox) {
+      if (m) ++heard_;
+    }
+    if (!info.neighbors.empty()) {
+      outbox.send_all(std::move(clb::congest::MessageWriter()
+                                    .put(info.id & 0xFFFF, 16))
+                          .finish());
+    }
+  }
+  bool finished() const override { return false; }
+
+ private:
+  std::size_t heard_ = 0;
+};
+
+void BM_EngineSteadyRound(benchmark::State& state) {
+  // One iteration = one allocation-free round of the rewritten engine
+  // (arena reuse, pull-based delivery). range(1) = num_threads.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  clb::Rng rng(5);
+  const auto g =
+      clb::graph::gnp_random_connected(rng, n, 8.0 / static_cast<double>(n));
+  clb::congest::NetworkConfig cfg;
+  cfg.bits_per_edge = 16;
+  cfg.max_rounds = 1'000'000'000;
+  cfg.num_threads = static_cast<std::size_t>(state.range(1));
+  clb::congest::Network net(g, [](clb::graph::NodeId,
+                                  const clb::congest::NodeInfo&) {
+    return std::make_unique<MicroFlood>();
+  }, cfg);
+  net.run_rounds(4);  // warm-up
+  for (auto _ : state) {
+    net.run_rounds(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EngineSteadyRound)
+    ->Args({1024, 1})
+    ->Args({1024, 2})
+    ->Args({1024, 4})
+    ->Args({4096, 1})
+    ->Args({4096, 4});
+
 }  // namespace
+
+// Custom main: unless the caller chose their own output file, mirror the
+// console run into BENCH_micro.json (google-benchmark's JSON schema) for
+// the CI artifact, by injecting the corresponding benchmark flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

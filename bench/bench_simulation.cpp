@@ -1,4 +1,5 @@
-// Experiment T5: the simulation argument of Theorem 5 executed end-to-end.
+// Experiment T5: the simulation argument of Theorem 5 executed end-to-end,
+// plus the engine-throughput benchmark that feeds BENCH_simulation.json.
 //
 // t players simulate a CONGEST algorithm on G_xbar / F_xbar; every message
 // crossing between players' parts is posted to a shared blackboard. The
@@ -10,14 +11,28 @@
 // local weighted-greedy the accounting still holds but the answer can be
 // wrong — exactly the distinction the lower bound exploits (fast local
 // algorithms cannot decide the gap).
+//
+// The engine-throughput section at the end measures the simulator hot path
+// itself (ns/round, messages/s, bits/s, allocations/round) on the standard
+// shapes, serial and parallel, and writes BENCH_simulation.json — the
+// machine-readable perf record that scripts/check_bench_regression.py
+// compares against bench/baselines/ in CI (see docs/PERFORMANCE.md).
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "comm/lower_bound.hpp"
+#include "congest/algorithms/greedy_mis.hpp"
 #include "congest/algorithms/universal_maxis.hpp"
 #include "congest/algorithms/weighted_greedy.hpp"
+#include "graph/generators.hpp"
 #include "maxis/branch_and_bound.hpp"
 #include "sim/reduction.hpp"
+#include "support/alloc_hook.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -41,6 +56,228 @@ void add_row(Table& t, const std::string& algo, const std::string& branch,
              rep.accounting_ok ? "yes" : "NO",
              rep.decided_disjoint ? "disjoint" : "intersecting",
              rep.correct ? "yes" : "no"});
+}
+
+// ------------------------------------------------- engine throughput --
+
+/// Broadcasts a 16-bit payload every round, forever — pure engine load.
+class SteadyFlood final : public clb::congest::NodeProgram {
+ public:
+  void round(const clb::congest::NodeInfo& info,
+             const clb::congest::Inbox& inbox, clb::congest::Outbox& outbox,
+             clb::Rng&) override {
+    for (const auto& m : inbox) {
+      if (m) ++heard_;
+    }
+    if (!info.neighbors.empty()) {
+      outbox.send_all(std::move(clb::congest::MessageWriter()
+                                    .put(info.id & 0xFFFF, 16))
+                          .finish());
+    }
+  }
+  bool finished() const override { return false; }
+  std::int64_t output() const override {
+    return static_cast<std::int64_t>(heard_);
+  }
+
+ private:
+  std::size_t heard_ = 0;
+};
+
+/// ns/round of the pre-rewrite (seed) engine on the same shapes, same
+/// machine, same SteadyFlood workload and 512-round window — measured from
+/// the last pre-rewrite commit with a one-off bench harness (median of
+/// three runs; the raw runs spread about ±10%). Kept here so every
+/// BENCH_simulation.json records the serial improvement factor vs seed.
+struct SeedReference {
+  const char* name;
+  double ns_per_round;
+};
+constexpr SeedReference kSeedReference[] = {
+    {"flood/cycle-1024", 586000.0},
+    {"flood/gnp-1024", 2755000.0},
+    {"flood/gadget-linear-t3", 261000.0},
+};
+
+struct EngineRow {
+  std::string name;          ///< workload/shape identifier
+  std::size_t n = 0;         ///< nodes
+  std::size_t edges = 0;     ///< undirected edges
+  std::size_t threads = 1;   ///< NetworkConfig::num_threads
+  std::size_t rounds = 0;    ///< rounds in the timed window
+  double ns_per_round = 0;
+  double messages_per_s = 0;
+  double bits_per_s = 0;
+  double allocs_per_round = 0;
+};
+
+double elapsed_ns(std::chrono::steady_clock::time_point t0,
+                  std::chrono::steady_clock::time_point t1) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+}
+
+/// Steady-state throughput: warm the arenas, then time a fixed window.
+EngineRow measure_flood(const std::string& name, const clb::graph::Graph& g,
+                        std::size_t threads, std::size_t timed_rounds) {
+  clb::congest::NetworkConfig cfg;
+  cfg.bits_per_edge = 16;
+  cfg.max_rounds = 100'000'000;
+  cfg.num_threads = threads;
+  clb::congest::Network net(g, [](clb::graph::NodeId,
+                                  const clb::congest::NodeInfo&) {
+    return std::make_unique<SteadyFlood>();
+  }, cfg);
+  net.run_rounds(8);  // warm-up: engage arenas and payload buffers
+
+  const auto s0 = net.stats();
+  const auto a0 = clb::allochook::allocation_count();
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run_rounds(timed_rounds);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto a1 = clb::allochook::allocation_count();
+  const auto s1 = net.stats();
+
+  const double ns = elapsed_ns(t0, t1);
+  EngineRow row;
+  row.name = name;
+  row.n = g.num_nodes();
+  row.edges = g.num_edges();
+  row.threads = threads;
+  row.rounds = timed_rounds;
+  row.ns_per_round = ns / static_cast<double>(timed_rounds);
+  row.messages_per_s =
+      static_cast<double>(s1.messages_sent - s0.messages_sent) * 1e9 / ns;
+  row.bits_per_s = static_cast<double>(s1.bits_sent - s0.bits_sent) * 1e9 / ns;
+  row.allocs_per_round =
+      static_cast<double>(a1 - a0) / static_cast<double>(timed_rounds);
+  return row;
+}
+
+/// Terminating-algorithm throughput: repeat full runs on fresh networks and
+/// time only the runs (construction excluded). ns/round averages over every
+/// executed round.
+EngineRow measure_runs(const std::string& name, const clb::graph::Graph& g,
+                       const clb::congest::ProgramFactory& factory,
+                       std::size_t threads, std::size_t repeats) {
+  clb::congest::NetworkConfig cfg;
+  cfg.max_rounds = 1'000'000;
+  cfg.num_threads = threads;
+  double ns = 0;
+  std::uint64_t rounds = 0, messages = 0, bits = 0, allocs = 0;
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    cfg.seed = 0xC0D1F1EDULL + rep;
+    clb::congest::Network net(g, factory, cfg);
+    const auto a0 = clb::allochook::allocation_count();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto stats = net.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    allocs += clb::allochook::allocation_count() - a0;
+    ns += elapsed_ns(t0, t1);
+    rounds += stats.rounds;
+    messages += stats.messages_sent;
+    bits += stats.bits_sent;
+  }
+  EngineRow row;
+  row.name = name;
+  row.n = g.num_nodes();
+  row.edges = g.num_edges();
+  row.threads = threads;
+  row.rounds = static_cast<std::size_t>(rounds);
+  row.ns_per_round = ns / static_cast<double>(rounds);
+  row.messages_per_s = static_cast<double>(messages) * 1e9 / ns;
+  row.bits_per_s = static_cast<double>(bits) * 1e9 / ns;
+  row.allocs_per_round =
+      static_cast<double>(allocs) / static_cast<double>(rounds);
+  return row;
+}
+
+/// Runs the engine-throughput suite and writes BENCH_simulation.json.
+void engine_throughput_section(std::size_t timed_rounds,
+                               std::size_t mis_repeats) {
+  clb::print_heading(std::cout,
+                     "engine throughput (ns/round; see BENCH_simulation.json)");
+
+  clb::Rng rng(7);
+  const auto cycle = clb::graph::cycle_graph(1024);
+  const auto gnp = clb::graph::gnp_random_connected(rng, 1024, 0.01);
+  const auto params = clb::lb::GadgetParams::for_linear_separation(3, 1);
+  const auto gadget = clb::lb::LinearConstruction(params, 3).fixed_graph();
+
+  std::vector<EngineRow> rows;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    rows.push_back(measure_flood("flood/cycle-1024", cycle, threads,
+                                 timed_rounds));
+    rows.push_back(measure_flood("flood/gnp-1024", gnp, threads,
+                                 timed_rounds));
+    rows.push_back(measure_flood("flood/gadget-linear-t3", gadget, threads,
+                                 timed_rounds));
+    rows.push_back(measure_runs("greedy-mis/cycle-1024", cycle,
+                                clb::congest::greedy_mis_factory(), threads,
+                                mis_repeats));
+  }
+
+  Table t({"workload", "n", "edges", "threads", "ns/round", "messages/s",
+           "bits/s", "allocs/round"});
+  for (const auto& r : rows) {
+    t.add_row({r.name, std::to_string(r.n), std::to_string(r.edges),
+               std::to_string(r.threads), clb::fmt_double(r.ns_per_round, 0),
+               clb::fmt_double(r.messages_per_s, 0),
+               clb::fmt_double(r.bits_per_s, 0),
+               clb::fmt_double(r.allocs_per_round, 3)});
+  }
+  t.print(std::cout);
+  std::cout << "  (allocs/round counts heap allocations via the counting "
+               "allocator; steady-state flood must be 0)\n";
+
+  std::ofstream out("BENCH_simulation.json");
+  clb::JsonWriter jw(out);
+  jw.begin_object();
+  jw.kv("schema", "clb-bench-v1");
+  jw.kv("benchmark", "simulation_engine");
+  jw.kv("alloc_hook", clb::allochook::hook_active());
+  jw.key("entries");
+  jw.begin_array();
+  for (const auto& r : rows) {
+    jw.begin_object();
+    jw.kv("name", r.name);
+    jw.kv("n", static_cast<std::uint64_t>(r.n));
+    jw.kv("edges", static_cast<std::uint64_t>(r.edges));
+    jw.kv("threads", static_cast<std::uint64_t>(r.threads));
+    jw.kv("rounds", static_cast<std::uint64_t>(r.rounds));
+    jw.kv("ns_per_round", r.ns_per_round);
+    jw.kv("messages_per_s", r.messages_per_s);
+    jw.kv("bits_per_s", r.bits_per_s);
+    jw.kv("allocs_per_round", r.allocs_per_round);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.key("seed_comparison");
+  jw.begin_array();
+  for (const auto& ref : kSeedReference) {
+    for (const auto& r : rows) {
+      if (r.threads != 1 || r.name != ref.name) continue;
+      jw.begin_object();
+      jw.kv("name", ref.name);
+      jw.kv("seed_ns_per_round", ref.ns_per_round);
+      jw.kv("ns_per_round", r.ns_per_round);
+      jw.kv("improvement", ref.ns_per_round / r.ns_per_round);
+      jw.end_object();
+    }
+  }
+  jw.end_array();
+  jw.end_object();
+  out << "\n";
+  std::cout << "  wrote BENCH_simulation.json (" << rows.size()
+            << " entries)\n";
+  for (const auto& ref : kSeedReference) {
+    for (const auto& r : rows) {
+      if (r.threads != 1 || r.name != ref.name) continue;
+      std::cout << "  serial vs seed engine, " << ref.name << ": "
+                << clb::fmt_double(ref.ns_per_round / r.ns_per_round, 1)
+                << "x faster\n";
+    }
+  }
 }
 
 }  // namespace
@@ -171,6 +408,12 @@ int main() {
     }
     ck.print(std::cout);
   }
+
+  // Small shapes when CLB_BENCH_SMOKE is set (the CI smoke job); full
+  // windows otherwise.
+  const bool smoke = std::getenv("CLB_BENCH_SMOKE") != nullptr;
+  engine_throughput_section(/*timed_rounds=*/smoke ? 64 : 512,
+                            /*mis_repeats=*/smoke ? 2 : 8);
 
   std::cout << "\nSimulation experiments completed.\n";
   return 0;

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_simulation.json against the checked-in baseline.
+
+Usage:
+    scripts/check_bench_regression.py <measured.json> <baseline.json> [--factor F]
+
+Entries are matched by (name, threads). The check fails (exit 1) when any
+matched entry's ns_per_round exceeds factor * baseline (default 2x), or when
+a steady-state flood workload reports nonzero allocations per round. Entries
+present on only one side are reported but do not fail the check, so adding
+or renaming workloads does not require a lockstep baseline update.
+
+The baseline in bench/baselines/ is deliberately generous: it exists to
+catch order-of-magnitude engine regressions on shared CI runners, not to
+police noise. Refresh it from a Release run when the engine genuinely gets
+faster (see docs/PERFORMANCE.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_entries(path):
+    with open(path) as f:
+        doc = json.load(f)
+    entries = {}
+    for e in doc.get("entries", []):
+        entries[(e["name"], e["threads"])] = e
+    return entries
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("measured")
+    parser.add_argument("baseline")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="fail when measured ns/round > factor * baseline")
+    args = parser.parse_args()
+
+    measured = load_entries(args.measured)
+    baseline = load_entries(args.baseline)
+
+    failures = []
+    for key, base in sorted(baseline.items()):
+        got = measured.get(key)
+        if got is None:
+            print(f"note: baseline entry {key} missing from measured run")
+            continue
+        ratio = got["ns_per_round"] / base["ns_per_round"]
+        status = "ok"
+        if got["ns_per_round"] > args.factor * base["ns_per_round"]:
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: {got['ns_per_round']:.0f} ns/round vs baseline "
+                f"{base['ns_per_round']:.0f} ({ratio:.2f}x > {args.factor}x)")
+        print(f"{key[0]} (threads={key[1]}): {got['ns_per_round']:.0f} ns/round, "
+              f"{ratio:.2f}x baseline -> {status}")
+
+    for key, got in sorted(measured.items()):
+        if key not in baseline:
+            print(f"note: new entry {key} has no baseline yet")
+        if key[0].startswith("flood/") and got.get("allocs_per_round", 0) > 0:
+            failures.append(
+                f"{key}: steady-state flood allocated "
+                f"{got['allocs_per_round']} times/round (must be 0)")
+
+    if failures:
+        print("\nBenchmark regression check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nBenchmark regression check passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

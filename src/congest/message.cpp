@@ -1,9 +1,51 @@
 #include "congest/message.hpp"
 
+#include <cstring>
+#include <utility>
+
 #include "support/expect.hpp"
 #include "support/hash.hpp"
 
 namespace congestlb::congest {
+
+void PayloadBytes::ensure_capacity(std::size_t n) {
+  if (n <= capacity_) return;
+  std::size_t cap = capacity_ * 2;
+  if (cap < n) cap = n;
+  auto* buf = new std::byte[cap];
+  std::memcpy(buf, data(), size_);
+  std::memset(buf + size_, 0, cap - size_);
+  delete[] heap_;
+  heap_ = buf;
+  capacity_ = cap;
+}
+
+void PayloadBytes::resize(std::size_t n) {
+  ensure_capacity(n);
+  if (n > size_) std::memset(data() + size_, 0, n - size_);
+  size_ = n;
+}
+
+void PayloadBytes::push_back(std::byte b) {
+  ensure_capacity(size_ + 1);
+  data()[size_++] = b;
+}
+
+void PayloadBytes::assign(const std::byte* src, std::size_t n) {
+  ensure_capacity(n);
+  std::memcpy(data(), src, n);
+  size_ = n;
+}
+
+void PayloadBytes::swap(PayloadBytes& other) noexcept {
+  std::byte tmp[kInlineCapacity];
+  std::memcpy(tmp, inline_, kInlineCapacity);
+  std::memcpy(inline_, other.inline_, kInlineCapacity);
+  std::memcpy(other.inline_, tmp, kInlineCapacity);
+  std::swap(heap_, other.heap_);
+  std::swap(size_, other.size_);
+  std::swap(capacity_, other.capacity_);
+}
 
 std::uint64_t fold_checksum(std::uint64_t value, std::size_t width) {
   CLB_EXPECT(width >= 1 && width <= 16, "fold_checksum: width in [1,16]");
@@ -16,14 +58,19 @@ MessageWriter& MessageWriter::put(std::uint64_t value, std::size_t width) {
     CLB_EXPECT(value < (1ULL << width),
                "MessageWriter: value does not fit in declared width");
   }
-  for (std::size_t i = 0; i < width; ++i) {
-    const std::size_t bit_index = bits_ + i;
-    if (bit_index / 8 >= data_.size()) data_.push_back(std::byte{0});
-    if ((value >> i) & 1) {
-      data_[bit_index / 8] |= static_cast<std::byte>(1u << (bit_index % 8));
-    }
+  // Byte-wise append, LSB-first within and across bytes (the layout the
+  // bit-by-bit reference in fuzz_test checks against).
+  const std::size_t end_bit = bits_ + width;
+  const std::size_t need = (end_bit + 7) / 8;
+  if (need > data_.size()) data_.resize(need);  // new bytes are zeroed
+  std::byte* bytes = data_.data();
+  std::size_t byte_i = bits_ / 8;
+  const std::size_t shift = bits_ % 8;
+  bytes[byte_i] |= static_cast<std::byte>((value << shift) & 0xFF);
+  for (std::size_t written = 8 - shift; written < width; written += 8) {
+    bytes[++byte_i] |= static_cast<std::byte>((value >> written) & 0xFF);
   }
-  bits_ += width;
+  bits_ = end_bit;
   return *this;
 }
 
@@ -37,12 +84,14 @@ Message MessageWriter::finish() && {
 std::uint64_t MessageReader::get(std::size_t width) {
   CLB_EXPECT(width >= 1 && width <= 64, "MessageReader: width in [1,64]");
   CLB_EXPECT(pos_ + width <= msg_->bits, "MessageReader: read past end");
-  std::uint64_t value = 0;
-  for (std::size_t i = 0; i < width; ++i) {
-    const std::size_t bit_index = pos_ + i;
-    const auto byte = static_cast<unsigned>(msg_->data[bit_index / 8]);
-    if ((byte >> (bit_index % 8)) & 1u) value |= 1ULL << i;
+  const std::byte* bytes = msg_->data.data();
+  std::size_t byte_i = pos_ / 8;
+  const std::size_t shift = pos_ % 8;
+  std::uint64_t value = static_cast<std::uint64_t>(bytes[byte_i]) >> shift;
+  for (std::size_t got = 8 - shift; got < width; got += 8) {
+    value |= static_cast<std::uint64_t>(bytes[++byte_i]) << got;
   }
+  if (width < 64) value &= (1ULL << width) - 1;
   pos_ += width;
   return value;
 }

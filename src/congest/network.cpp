@@ -1,230 +1,319 @@
 #include "congest/network.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "support/expect.hpp"
-#include "support/math.hpp"
 
 namespace congestlb::congest {
 
-void Outbox::send(std::size_t slot, Message msg) {
-  CLB_EXPECT(slot < slots_.size(), "Outbox: neighbor slot out of range");
-  CLB_EXPECT(!slots_[slot].has_value(),
-             "Outbox: one message per neighbor per round");
+// ------------------------------------------------------------------ Outbox --
+
+Outbox::Outbox(std::size_t num_neighbors, std::size_t cap_bits)
+    : own_kind_(num_neighbors, 0),
+      own_msgs_(num_neighbors),
+      kind_(own_kind_.data()),
+      msgs_(own_msgs_.data()),
+      count_(num_neighbors),
+      cap_bits_(cap_bits) {}
+
+void Outbox::send(std::size_t slot, const Message& msg) {
+  CLB_EXPECT(slot < count_, "Outbox: neighbor slot out of range");
+  CLB_EXPECT(kind_[slot] == 0, "Outbox: one message per neighbor per round");
   CLB_EXPECT(msg.bits > 0, "Outbox: refusing to send an empty message");
-  slots_[slot] = std::move(msg);
+  // The model constraint is checked at send time, faults or not: a program
+  // that oversends is buggy even if the message would be lost.
+  CLB_EXPECT(msg.bits <= cap_bits_,
+             "CONGEST bandwidth exceeded: message of " +
+                 std::to_string(msg.bits) + " bits on a " +
+                 std::to_string(cap_bits_) + "-bit edge");
+  msgs_[slot] = msg;  // copy-assign reuses the arena slot's capacity
+  kind_[slot] = 1;
 }
 
 void Outbox::send_all(const Message& msg) {
-  for (std::size_t i = 0; i < slots_.size(); ++i) send(i, msg);
+  for (std::size_t i = 0; i < count_; ++i) send(i, msg);
 }
 
-std::size_t congest_bandwidth_bits(std::size_t n) {
-  return 4 * static_cast<std::size_t>(std::max(1, ceil_log2(std::max<std::size_t>(2, n))));
-}
+// ----------------------------------------------------------------- Network --
 
 Network::Network(const graph::Graph& g, const ProgramFactory& factory,
                  NetworkConfig config)
-    : g_(&g), config_(config) {
-  CLB_EXPECT(g.num_nodes() > 0, "Network: empty graph");
-  bits_per_edge_ = config.bits_per_edge != 0 ? config.bits_per_edge
-                                             : congest_bandwidth_bits(g.num_nodes());
+    : topo_(Topology::build(g)),
+      config_(std::move(config)),
+      pool_(config_.num_threads == 0 ? 1 : config_.num_threads) {
+  CLB_EXPECT(topo_->n > 0, "Network: empty graph");
+  bits_per_edge_ = config_.bits_per_edge != 0
+                       ? config_.bits_per_edge
+                       : congest_bandwidth_bits(topo_->n);
   CLB_EXPECT(bits_per_edge_ >= 1, "Network: bandwidth must be positive");
   if (config_.faults.enabled()) {
-    injector_.emplace(config_.faults, g.num_nodes(), config_.seed);
+    injector_.emplace(config_.faults, topo_->n, config_.seed);
   }
 
-  // Assign dense edge ids (u < v order) and per-node slot -> edge id maps.
-  edge_id_.resize(g.num_nodes());
-  std::size_t next_edge = 0;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    edge_id_[u].resize(g.neighbors(u).size());
-  }
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const auto& nb = g.neighbors(u);
-    for (std::size_t s = 0; s < nb.size(); ++s) {
-      const NodeId v = nb[s];
-      if (u < v) {
-        edge_id_[u][s] = next_edge;
-        // Find u's slot in v's neighbor list (sorted -> binary search).
-        const auto& nv = g.neighbors(v);
-        const auto it = std::lower_bound(nv.begin(), nv.end(), u);
-        edge_id_[v][static_cast<std::size_t>(it - nv.begin())] = next_edge;
-        ++next_edge;
-      }
-    }
-  }
-  edge_bits_.assign(next_edge, 0);
-  was_crashed_.assign(g.num_nodes(), 0);
+  const std::size_t n = topo_->n;
+  const std::size_t slots = topo_->neighbors.size();  // 2m directed slots
+  in_kind_.assign(slots, 0);
+  in_msgs_.resize(slots);
+  out_kind_.assign(slots, 0);
+  out_msgs_.resize(slots);
+  echo_kind_.assign(slots, 0);
+  echo_msgs_.resize(slots);
+  dbits_.assign(slots, 0);
+  was_crashed_.assign(n, 0);
+  crashed_now_.assign(n, 0);
 
-  Rng seeder(config.seed);
-  infos_.reserve(g.num_nodes());
-  programs_.reserve(g.num_nodes());
-  inflight_.reserve(g.num_nodes());
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+  num_shards_ = pool_.num_threads();
+  shard_range_.resize(num_shards_);
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    shard_range_[s] = {n * s / num_shards_, n * (s + 1) / num_shards_};
+  }
+  shard_.resize(num_shards_);
+  shard_error_.resize(num_shards_);
+
+  Rng seeder(config_.seed);
+  infos_.reserve(n);
+  programs_.reserve(n);
+  node_rng_.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
     NodeInfo info;
     info.id = v;
-    info.n = g.num_nodes();
-    info.weight = g.weight(v);
-    info.neighbors = g.neighbors(v);
+    info.n = n;
+    info.weight = topo_->weights[v];
+    info.neighbors = topo_->neighbors_of(v);
     info.bits_per_edge = bits_per_edge_;
-    infos_.push_back(std::move(info));
+    infos_.push_back(info);
     node_rng_.push_back(seeder.fork());
-    inflight_.emplace_back(infos_.back().neighbors.size());
   }
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+  for (NodeId v = 0; v < n; ++v) {
     programs_.push_back(factory(v, infos_[v]));
     CLB_EXPECT(programs_.back() != nullptr, "Network: factory returned null");
   }
-}
-
-void Network::deliver(std::vector<Inbox>& next, std::size_t round, NodeId u,
-                      NodeId v, const Message& msg) {
-  const auto& nv = infos_[v].neighbors;
-  const auto it = std::lower_bound(nv.begin(), nv.end(), u);
-  const auto slot = static_cast<std::size_t>(it - nv.begin());
-  stats_.messages_sent += 1;
-  stats_.bits_sent += msg.bits;
-  edge_bits_[edge_id_[v][slot]] += msg.bits;
-  if (config_.on_message) config_.on_message(round, u, v, msg);
-  next[v][slot] = msg;
 }
 
 bool Network::receiver_lost(NodeId v, std::size_t consume_round) const {
   return injector_.has_value() && injector_->node_crashed(v, consume_round);
 }
 
-bool Network::step() {
-  const std::size_t n = g_->num_nodes();
-  const std::size_t round = stats_.rounds;
-
-  // Crash bookkeeping: record crash/recovery transitions for this round.
-  std::vector<char> crashed_now(n, 0);
-  if (injector_.has_value()) {
-    for (NodeId v = 0; v < n; ++v) {
-      crashed_now[v] = injector_->node_crashed(v, round) ? 1 : 0;
-      if (crashed_now[v] && !was_crashed_[v]) stats_.nodes_crashed += 1;
-      if (!crashed_now[v] && was_crashed_[v]) stats_.nodes_recovered += 1;
-    }
-    was_crashed_ = crashed_now;
-  }
-
-  std::vector<Outbox> outboxes;
-  outboxes.reserve(n);
-  bool any_inbound = false;
-  for (NodeId v = 0; v < n; ++v) {
-    for (const auto& m : inflight_[v]) {
-      if (m.has_value()) {
-        any_inbound = true;
-        break;
+void Network::compute_shard(std::size_t shard) {
+  try {
+    const auto [begin, end] = shard_range_[shard];
+    ShardCounters& sc = shard_[shard];
+    const std::size_t round = stats_.rounds;
+    for (NodeId v = begin; v < end; ++v) {
+      // Crash bookkeeping: record crash/recovery transitions for this round.
+      if (injector_.has_value()) {
+        const std::uint8_t c = injector_->node_crashed(v, round) ? 1 : 0;
+        if (c && !was_crashed_[v]) sc.crashes += 1;
+        if (!c && was_crashed_[v]) sc.recoveries += 1;
+        was_crashed_[v] = c;
+        crashed_now_[v] = c;
       }
-    }
-    if (any_inbound) break;
-  }
-  for (NodeId v = 0; v < n; ++v) {
-    Outbox out(infos_[v].neighbors.size());
-    // A crashed node neither computes nor sends; its program state is
-    // frozen until recovery (crash-stop, not amnesia).
-    if (!crashed_now[v]) {
-      programs_[v]->round(infos_[v], inflight_[v], out, node_rng_[v]);
-    }
-    outboxes.push_back(std::move(out));
-  }
-  // Enforce bandwidth + broadcast restriction, apply the fault schedule,
-  // account bits, deliver. Only delivered messages are charged.
-  std::uint64_t delivered_this_round = 0;
-  std::uint64_t attempted_this_round = 0;
-  std::vector<Inbox> next(n);
-  for (NodeId v = 0; v < n; ++v) next[v].resize(infos_[v].neighbors.size());
-  std::vector<PendingEcho> new_echoes;
-  for (NodeId u = 0; u < n; ++u) {
-    const auto& slots = outboxes[u].slots();
-    if (config_.broadcast_only) {
-      // All non-empty slots must carry identical payloads.
-      const Message* first = nullptr;
-      for (const auto& m : slots) {
-        if (!m) continue;
-        if (!first) {
-          first = &*m;
-        } else {
-          CLB_EXPECT(first->bits == m->bits && first->data == m->data,
-                     "CONGEST-Broadcast: different messages to different "
-                     "neighbors in one round");
+      // A crashed node neither computes nor sends; its program state is
+      // frozen until recovery (crash-stop, not amnesia).
+      if (crashed_now_[v]) continue;
+      const std::size_t off = topo_->offsets[v];
+      const std::size_t deg = topo_->degree(v);
+      Inbox inbox(in_kind_.data() + off, in_msgs_.data() + off, deg);
+      Outbox outbox(out_kind_.data() + off, out_msgs_.data() + off, deg,
+                    bits_per_edge_);
+      programs_[v]->round(infos_[v], inbox, outbox, node_rng_[v]);
+      if (config_.broadcast_only) {
+        // All non-empty slots must carry identical payloads.
+        const Message* first = nullptr;
+        for (std::size_t s = 0; s < deg; ++s) {
+          if (!out_kind_[off + s]) continue;
+          const Message& m = out_msgs_[off + s];
+          if (!first) {
+            first = &m;
+          } else {
+            CLB_EXPECT(first->bits == m.bits && first->data == m.data,
+                       "CONGEST-Broadcast: different messages to different "
+                       "neighbors in one round");
+          }
         }
       }
     }
-    for (std::size_t s = 0; s < slots.size(); ++s) {
-      if (!slots[s]) continue;
-      const Message& m = *slots[s];
-      // The model constraint is checked at send time, faults or not: a
-      // program that oversends is buggy even if the message would be lost.
-      CLB_EXPECT(m.bits <= bits_per_edge_,
-                 "CONGEST bandwidth exceeded: message of " +
-                     std::to_string(m.bits) + " bits on a " +
-                     std::to_string(bits_per_edge_) + "-bit edge");
-      attempted_this_round += 1;
-      const NodeId v = infos_[u].neighbors[s];
+  } catch (...) {
+    shard_error_[shard] = std::current_exception();
+  }
+}
+
+void Network::deliver_shard(std::size_t shard) {
+  try {
+    const auto [begin, end] = shard_range_[shard];
+    ShardCounters& sc = shard_[shard];
+    const std::size_t round = stats_.rounds;
+    const std::size_t* off = topo_->offsets.data();
+    const NodeId* nbrs = topo_->neighbors.data();
+    const std::uint32_t* rev = topo_->reverse_slot.data();
+    if (!injector_.has_value()) {
+      // Fault-free fast path: no losses, no echoes (the echo arena stays
+      // all-zero without an injector), every sent message is delivered.
+      for (NodeId v = begin; v < end; ++v) {
+        for (std::size_t e = off[v]; e < off[v + 1]; ++e) {
+          const std::size_t o = off[nbrs[e]] + rev[e];
+          if (out_kind_[o]) {
+            out_kind_[o] = 0;  // consume; only this slot's owner reads it
+            in_msgs_[e] = out_msgs_[o];
+            sc.attempted += 1;
+            sc.delivered += 1;
+            sc.bits_delivered += in_msgs_[e].bits;
+            dbits_[e] += in_msgs_[e].bits;
+            in_kind_[e] = kNormal;
+          } else {
+            in_kind_[e] = kEmpty;
+          }
+        }
+      }
+      return;
+    }
+    for (NodeId v = begin; v < end; ++v) {
       // Messages sent this round are consumed next round; a receiver
-      // crashed at consumption time loses the message.
-      if (receiver_lost(v, round + 1)) {
-        stats_.messages_dropped += 1;
-        stats_.bits_dropped += m.bits;
-        continue;
+      // crashed at consumption time loses them.
+      const bool lost = receiver_lost(v, round + 1);
+      for (std::size_t e = off[v]; e < off[v + 1]; ++e) {
+        const NodeId u = nbrs[e];
+        const std::size_t o = off[u] + rev[e];  // u's out slot toward v
+        const std::uint8_t pending = echo_kind_[e];
+        std::uint8_t placed = kEmpty;
+        bool stage_echo = false;
+        if (out_kind_[o]) {
+          out_kind_[o] = 0;  // consume; only this slot's owner reads it
+          const Message& m = out_msgs_[o];
+          sc.attempted += 1;
+          if (lost) {
+            sc.dropped += 1;
+            sc.bits_dropped += m.bits;
+          } else {
+            const FaultAction action = injector_.has_value()
+                                           ? injector_->classify(round, u, v)
+                                           : FaultAction::kDeliver;
+            switch (action) {
+              case FaultAction::kDrop:
+                sc.dropped += 1;
+                sc.bits_dropped += m.bits;
+                break;
+              case FaultAction::kCorrupt:
+                in_msgs_[e] = m;
+                injector_->corrupt(round, u, v, in_msgs_[e]);
+                sc.corrupted += 1;
+                placed = kNormal;
+                break;
+              case FaultAction::kDuplicate:
+                in_msgs_[e] = m;
+                placed = kNormal;
+                stage_echo = true;
+                break;
+              case FaultAction::kDeliver:
+                in_msgs_[e] = m;
+                placed = kNormal;
+                break;
+            }
+          }
+        }
+        // Place the echo staged in the previous round: a duplicated message
+        // is redelivered one round after the original, but only if the edge
+        // slot is otherwise idle this round (one message per edge per round
+        // — a fault never violates the CONGEST budget) and the receiver
+        // survives. Displaced or crash-lost echoes vanish without charge.
+        if (pending) {
+          sc.attempted += 1;
+          if (placed == kEmpty && !lost) {
+            sc.duplicated += 1;
+            in_msgs_[e] = echo_msgs_[e];
+            placed = kEcho;
+          }
+        }
+        if (placed != kEmpty) {
+          sc.delivered += 1;
+          sc.bits_delivered += in_msgs_[e].bits;
+          dbits_[e] += in_msgs_[e].bits;
+        }
+        in_kind_[e] = placed;
+        if (stage_echo) {
+          echo_msgs_[e] = out_msgs_[o];
+          echo_kind_[e] = 1;
+          sc.echoes_staged += 1;
+        } else {
+          echo_kind_[e] = 0;
+        }
       }
-      const FaultAction action =
-          injector_.has_value() ? injector_->classify(round, u, v)
-                                : FaultAction::kDeliver;
-      switch (action) {
-        case FaultAction::kDrop:
-          stats_.messages_dropped += 1;
-          stats_.bits_dropped += m.bits;
-          continue;
-        case FaultAction::kCorrupt: {
-          Message corrupted = m;
-          injector_->corrupt(round, u, v, corrupted);
-          stats_.messages_corrupted += 1;
-          deliver(next, round, u, v, corrupted);
-          delivered_this_round += 1;
-          continue;
-        }
-        case FaultAction::kDuplicate: {
-          deliver(next, round, u, v, m);
-          delivered_this_round += 1;
-          const auto& nv = infos_[v].neighbors;
-          const auto it = std::lower_bound(nv.begin(), nv.end(), u);
-          new_echoes.push_back(PendingEcho{
-              u, v, static_cast<std::size_t>(it - nv.begin()), m});
-          continue;
-        }
-        case FaultAction::kDeliver:
-          deliver(next, round, u, v, m);
-          delivered_this_round += 1;
-          continue;
+    }
+  } catch (...) {
+    shard_error_[shard] = std::current_exception();
+  }
+}
+
+void Network::notify_observer() {
+  // Canonical order, independent of num_threads: every normal delivery in
+  // (sender, out-slot) order, then every echo delivery in the same order —
+  // exactly the order the serial seed engine produced.
+  const std::size_t round = stats_.rounds;
+  const std::size_t* off = topo_->offsets.data();
+  const NodeId* nbrs = topo_->neighbors.data();
+  const std::uint32_t* rev = topo_->reverse_slot.data();
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::uint8_t want = pass == 0 ? kNormal : kEcho;
+    for (NodeId u = 0; u < topo_->n; ++u) {
+      for (std::size_t d = off[u]; d < off[u + 1]; ++d) {
+        const NodeId v = nbrs[d];
+        const std::size_t e = off[v] + rev[d];
+        if (in_kind_[e] == want) config_.on_message(round, u, v, in_msgs_[e]);
       }
     }
   }
-  // Place the echoes queued in the previous round: a duplicated message is
-  // redelivered one round after the original, but only if the edge slot is
-  // otherwise idle this round (one message per edge per round — a fault
-  // never violates the CONGEST budget) and the receiver survives. Displaced
-  // or crash-lost echoes vanish without charge.
-  for (const auto& echo : pending_echo_) {
-    attempted_this_round += 1;
-    if (next[echo.to][echo.slot].has_value() ||
-        receiver_lost(echo.to, round + 1)) {
-      continue;
+}
+
+void Network::rethrow_shard_error() {
+  for (std::size_t s = 0; s < num_shards_; ++s) {
+    if (shard_error_[s]) {
+      std::exception_ptr err = shard_error_[s];
+      shard_error_[s] = nullptr;
+      std::rethrow_exception(err);
     }
-    stats_.messages_duplicated += 1;
-    deliver(next, round, echo.from, echo.to, echo.msg);
-    delivered_this_round += 1;
   }
-  pending_echo_ = std::move(new_echoes);
-  if (attempted_this_round > 0 && delivered_this_round == 0) {
-    stats_.rounds_stalled += 1;
+}
+
+bool Network::step() {
+  const bool any_inbound = inflight_count_ > 0;
+  for (auto& sc : shard_) sc.reset();
+
+  // Phase 1: programs run (sharded by sender), filling the send arena.
+  pool_.run(num_shards_,
+            [this](std::size_t shard) { compute_shard(shard); });
+  rethrow_shard_error();
+  // Phase 2: pull-based delivery (sharded by receiver). Each thread writes
+  // only its own receivers' inbound slots — race-free and schedule-
+  // independent, hence bit-identical across thread counts.
+  pool_.run(num_shards_,
+            [this](std::size_t shard) { deliver_shard(shard); });
+  rethrow_shard_error();
+
+  // Merge per-shard counters in shard order (integer sums, so the totals
+  // are independent of the shard partition).
+  std::uint64_t attempted = 0;
+  std::uint64_t delivered = 0;
+  std::size_t staged = 0;
+  for (const ShardCounters& sc : shard_) {
+    attempted += sc.attempted;
+    delivered += sc.delivered;
+    stats_.messages_sent += sc.delivered;
+    stats_.bits_sent += sc.bits_delivered;
+    stats_.messages_dropped += sc.dropped;
+    stats_.bits_dropped += sc.bits_dropped;
+    stats_.messages_corrupted += sc.corrupted;
+    stats_.messages_duplicated += sc.duplicated;
+    stats_.nodes_crashed += sc.crashes;
+    stats_.nodes_recovered += sc.recoveries;
+    staged += sc.echoes_staged;
   }
-  inflight_ = std::move(next);
+  if (attempted > 0 && delivered == 0) stats_.rounds_stalled += 1;
+  inflight_count_ = delivered;
+  echo_count_ = staged;
+  if (config_.on_message) notify_observer();
   stats_.rounds += 1;
-  return delivered_this_round > 0 || any_inbound;
+  return delivered > 0 || any_inbound;
 }
 
 bool Network::node_terminal(NodeId v) const {
@@ -250,19 +339,7 @@ RunStats Network::run() {
         break;
       }
     }
-    if (all_done) {
-      bool quiet = pending_echo_.empty();
-      for (const auto& inbox : inflight_) {
-        if (!quiet) break;
-        for (const auto& m : inbox) {
-          if (m.has_value()) {
-            quiet = false;
-            break;
-          }
-        }
-      }
-      if (quiet) break;
-    }
+    if (all_done && inflight_count_ == 0 && echo_count_ == 0) break;
     step();
   }
   stats_.all_finished =
@@ -320,10 +397,12 @@ std::vector<std::string> Network::failure_diagnostics() const {
 }
 
 std::uint64_t Network::bits_on_edge(NodeId u, NodeId v) const {
-  CLB_EXPECT(g_->has_edge(u, v), "bits_on_edge: no such edge");
-  const auto& nu = g_->neighbors(u);
-  const auto it = std::lower_bound(nu.begin(), nu.end(), v);
-  return edge_bits_[edge_id_[u][static_cast<std::size_t>(it - nu.begin())]];
+  CLB_EXPECT(u < topo_->n && v < topo_->n,
+             "bits_on_edge: node id out of range");
+  const std::size_t su = topo_->slot_of(v, u);  // u's position in v's list
+  CLB_EXPECT(su != Topology::kNoSlot, "bits_on_edge: no such edge");
+  const std::size_t sv = topo_->slot_of(u, v);
+  return dbits_[topo_->offsets[v] + su] + dbits_[topo_->offsets[u] + sv];
 }
 
 std::vector<std::int64_t> Network::outputs() const {

@@ -4,9 +4,10 @@
 // synchronized rounds. In every round each node reads the messages its
 // neighbors sent in the previous round and may send a (possibly different)
 // message to each neighbor, of at most `bits_per_edge` bits — the O(log n)
-// bandwidth of the CONGEST model, *enforced*: oversending throws. The
-// simulator records per-edge traffic so the reduction driver (Theorem 5) can
-// charge exactly the cut-crossing bits to a communication blackboard.
+// bandwidth of the CONGEST model, *enforced at send time*: oversending
+// throws from Outbox::send. The simulator records per-edge traffic so the
+// reduction driver (Theorem 5) can charge exactly the cut-crossing bits to a
+// communication blackboard.
 //
 // A CONGEST-Broadcast restriction (the model of [11], discussed in the
 // paper's introduction) is available via Config::broadcast_only: a node must
@@ -19,19 +20,37 @@
 // RunStats bit counters, and the on_message observer reflect precisely the
 // messages that were actually delivered (corrupted payloads included,
 // dropped ones excluded), so blackboard charging never drifts.
+//
+// Engine layout (the hot path is allocation-free after warm-up):
+//  - an immutable shared Topology snapshot (topology.hpp) holds CSR
+//    neighbor arrays and the precomputed reverse-slot map, so delivery is
+//    O(1) per message with no binary search;
+//  - messages live in flat double-buffered arenas indexed by directed slot
+//    (a presence byte + a small-buffer Message per slot), reused across
+//    rounds without freeing payload capacity;
+//  - NetworkConfig::num_threads > 1 enables the deterministic parallel
+//    round executor: nodes are partitioned into contiguous shards, each
+//    round runs a compute phase (programs, sharded by sender) and a pull
+//    phase (delivery, sharded by receiver), with per-shard counters merged
+//    in shard order. Results — program outputs, RunStats, per-edge traffic,
+//    observer transcripts — are bit-for-bit identical to the serial engine
+//    for every thread count, fault schedules included.
 
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "congest/faults.hpp"
 #include "congest/message.hpp"
+#include "congest/topology.hpp"
 #include "graph/graph.hpp"
+#include "support/math.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace congestlb::congest {
 
@@ -40,33 +59,114 @@ using graph::NodeId;
 /// What a node statically knows about itself and its surroundings — its own
 /// id, weight, the ids of its neighbors, and n (standard KT1-style knowledge
 /// plus n, as assumed by the paper's constructions where nodes know the
-/// fixed topology template).
+/// fixed topology template). `neighbors` views the shared Topology snapshot
+/// owned by the Network; it stays valid for the Network's lifetime.
 struct NodeInfo {
   NodeId id = 0;
-  std::size_t n = 0;                 ///< number of nodes in the network
-  graph::Weight weight = 1;          ///< this node's weight
-  std::vector<NodeId> neighbors;     ///< sorted neighbor ids
-  std::size_t bits_per_edge = 0;     ///< per-round per-edge bandwidth
+  std::size_t n = 0;                  ///< number of nodes in the network
+  graph::Weight weight = 1;           ///< this node's weight
+  std::span<const NodeId> neighbors;  ///< sorted neighbor ids (shared view)
+  std::size_t bits_per_edge = 0;      ///< per-round per-edge bandwidth
 };
 
-/// Messages received this round: slot i corresponds to NodeInfo::neighbors[i].
-using Inbox = std::vector<std::optional<Message>>;
+/// Messages received this round: slot i corresponds to
+/// NodeInfo::neighbors[i]. A lightweight view over the engine's message
+/// arena; elements behave like std::optional<Message> (contextual bool,
+/// has_value(), *, ->) so algorithm code reads naturally.
+class Inbox {
+ public:
+  /// One received-message slot; empty when the neighbor sent nothing.
+  class Slot {
+   public:
+    Slot(const Message* msg, bool present) : msg_(msg), present_(present) {}
 
-/// Messages to send this round, same slot convention.
+    explicit operator bool() const { return present_; }
+    bool has_value() const { return present_; }
+    const Message& operator*() const { return *msg_; }
+    const Message* operator->() const { return msg_; }
+
+   private:
+    const Message* msg_;
+    bool present_;
+  };
+
+  class const_iterator {
+   public:
+    const_iterator(const std::uint8_t* kind, const Message* msg)
+        : kind_(kind), msg_(msg) {}
+    Slot operator*() const { return Slot(msg_, *kind_ != 0); }
+    const_iterator& operator++() {
+      ++kind_;
+      ++msg_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return kind_ != o.kind_; }
+    bool operator==(const const_iterator& o) const { return kind_ == o.kind_; }
+
+   private:
+    const std::uint8_t* kind_;
+    const Message* msg_;
+  };
+
+  Inbox() = default;
+  Inbox(const std::uint8_t* kind, const Message* msgs, std::size_t count)
+      : kind_(kind), msgs_(msgs), count_(count) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  Slot operator[](std::size_t i) const {
+    return Slot(msgs_ + i, kind_[i] != 0);
+  }
+
+  const_iterator begin() const { return const_iterator(kind_, msgs_); }
+  const_iterator end() const {
+    return const_iterator(kind_ + count_, msgs_ + count_);
+  }
+
+ private:
+  const std::uint8_t* kind_ = nullptr;
+  const Message* msgs_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// Messages to send this round, same slot convention as Inbox. Inside the
+/// engine an Outbox is a view over the per-round send arena; the
+/// `Outbox(num_neighbors)` constructor makes a self-contained one for tests.
+/// The CONGEST bandwidth budget is enforced here, at send time — a program
+/// that oversends is buggy even if the message would be lost to a fault.
 class Outbox {
  public:
-  explicit Outbox(std::size_t num_neighbors) : slots_(num_neighbors) {}
+  static constexpr std::size_t kUnlimitedBits = ~static_cast<std::size_t>(0);
 
-  /// Queue a message for neighbor slot `i` (at most one per round per edge).
-  void send(std::size_t slot, Message msg);
+  /// Self-contained outbox (owns its slots); used by unit tests.
+  explicit Outbox(std::size_t num_neighbors,
+                  std::size_t cap_bits = kUnlimitedBits);
+
+  /// Arena view: `kind`/`msgs` are the engine's presence bytes and message
+  /// slots for one sender, already cleared for this round.
+  Outbox(std::uint8_t* kind, Message* msgs, std::size_t count,
+         std::size_t cap_bits)
+      : kind_(kind), msgs_(msgs), count_(count), cap_bits_(cap_bits) {}
+
+  /// Queue a message for neighbor slot `i` (at most one per round per edge,
+  /// at most cap_bits bits).
+  void send(std::size_t slot, const Message& msg);
 
   /// Queue the same message to every neighbor (broadcast).
   void send_all(const Message& msg);
 
-  const std::vector<std::optional<Message>>& slots() const { return slots_; }
+  std::size_t size() const { return count_; }
+  bool has(std::size_t slot) const { return kind_[slot] != 0; }
+  const Message& message(std::size_t slot) const { return msgs_[slot]; }
 
  private:
-  std::vector<std::optional<Message>> slots_;
+  std::vector<std::uint8_t> own_kind_;  ///< engaged only in owning mode
+  std::vector<Message> own_msgs_;       ///< engaged only in owning mode
+  std::uint8_t* kind_ = nullptr;
+  Message* msgs_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t cap_bits_ = kUnlimitedBits;
 };
 
 /// A per-node distributed program. The simulator calls round() once per
@@ -111,6 +211,12 @@ struct NetworkConfig {
   std::size_t max_rounds = 1'000'000;
   std::uint64_t seed = 0xC0D1F1EDULL;
   bool broadcast_only = false;  ///< CONGEST-Broadcast restriction
+  /// Threads of parallelism for the round executor; 0/1 = serial. Every
+  /// observable result is bit-identical across all values (the parallel
+  /// engine is deterministic by construction), so this is purely a speed
+  /// knob. Programs of distinct nodes run concurrently and must not share
+  /// mutable state behind the simulator's back.
+  std::size_t num_threads = 1;
   /// Deterministic fault injection (all-zero rates = off). The schedule is
   /// a pure function of `seed` and these rates; see faults.hpp.
   FaultConfig faults;
@@ -118,7 +224,8 @@ struct NetworkConfig {
   /// msg). Used by sim::ReductionDriver to charge cut-crossing messages to
   /// the communication blackboard (Theorem 5's simulation). Under fault
   /// injection the observer sees exactly the delivered traffic: corrupted
-  /// payloads as corrupted, dropped messages not at all.
+  /// payloads as corrupted, dropped messages not at all. Invoked serially
+  /// in a canonical order regardless of num_threads.
   std::function<void(std::size_t, NodeId, NodeId, const Message&)> on_message;
 };
 
@@ -137,17 +244,26 @@ struct RunStats {
   std::size_t nodes_crashed = 0;         ///< crash events so far
   std::size_t nodes_recovered = 0;       ///< recoveries so far
   std::size_t rounds_stalled = 0;  ///< rounds where faults ate every message
+
+  /// Field-wise equality — the determinism suite asserts parallel == serial.
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 /// The default CONGEST bandwidth for an n-node network: c * ceil(log2 n)
 /// bits with c = 4 (room for a node id plus a small header in one message;
 /// any constant is fine for O(log n) accounting and benches report B
-/// explicitly).
-std::size_t congest_bandwidth_bits(std::size_t n);
+/// explicitly). constexpr: budgets embedded in program tables can be
+/// computed at compile time.
+constexpr std::size_t congest_bandwidth_bits(std::size_t n) {
+  const std::size_t clamped = n < 2 ? 2 : n;
+  return 4 * static_cast<std::size_t>(ceil_log2(clamped));
+}
 
 class Network {
  public:
   /// The graph must be non-empty. One program per node is created eagerly.
+  /// The graph is snapshotted (topology + weights); it need not outlive the
+  /// Network.
   Network(const graph::Graph& g, const ProgramFactory& factory,
           NetworkConfig config = {});
 
@@ -167,6 +283,9 @@ class Network {
   std::size_t bits_per_edge() const { return bits_per_edge_; }
   std::size_t rounds_executed() const { return stats_.rounds; }
   const RunStats& stats() const { return stats_; }
+
+  /// The shared topology snapshot this network simulates on.
+  const Topology& topology() const { return *topo_; }
 
   /// The crash schedule in force, or nullptr when fault injection is off.
   const FaultPlan* fault_plan() const;
@@ -188,12 +307,47 @@ class Network {
   std::vector<NodeId> selected_nodes() const;
 
  private:
+  /// Delivery kinds stored in the arena presence bytes.
+  static constexpr std::uint8_t kEmpty = 0;
+  static constexpr std::uint8_t kNormal = 1;  ///< regular (maybe corrupted)
+  static constexpr std::uint8_t kEcho = 2;    ///< duplication-fault echo
+
+  /// Per-shard round counters, merged (in shard order) into RunStats after
+  /// each phase. Cache-line padded so shards never false-share.
+  struct alignas(64) ShardCounters {
+    std::uint64_t attempted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t bits_delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bits_dropped = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t echoes_staged = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t recoveries = 0;
+
+    void reset() { *this = ShardCounters{}; }
+  };
+
   bool step();  ///< one round; returns true if any message was delivered/sent
 
-  /// Deliver `msg` into v's inbox slot for sender u: charge edge traffic,
-  /// update stats, notify the observer.
-  void deliver(std::vector<Inbox>& next, std::size_t round, NodeId u, NodeId v,
-               const Message& msg);
+  /// Phase 1 of a round, for one contiguous node shard: crash bookkeeping
+  /// and program execution (reads the inbound arena, fills the send arena).
+  void compute_shard(std::size_t shard);
+
+  /// Phase 2 of a round, for one contiguous node shard of *receivers*:
+  /// pull every inbound directed slot from its sender's send arena,
+  /// applying the fault schedule and placing pending echoes. Writes only
+  /// slots owned by this shard's receivers — race-free by construction.
+  void deliver_shard(std::size_t shard);
+
+  /// Invoke config_.on_message for this round's deliveries in the canonical
+  /// order (all normal deliveries in (sender, slot) order, then all echoes
+  /// in the same order) — identical for every num_threads.
+  void notify_observer();
+
+  /// Rethrow the first (by shard index) exception captured during a phase.
+  void rethrow_shard_error();
 
   /// Node v is terminal: finished, failed, or crashed never to return.
   bool node_terminal(NodeId v) const;
@@ -201,25 +355,39 @@ class Network {
   /// A message consumed at `round` by a crashed receiver is lost.
   bool receiver_lost(NodeId v, std::size_t consume_round) const;
 
-  const graph::Graph* g_;
+  std::shared_ptr<const Topology> topo_;
   std::size_t bits_per_edge_;
   NetworkConfig config_;
   std::optional<FaultInjector> injector_;  ///< engaged iff faults enabled
   std::vector<NodeInfo> infos_;
   std::vector<std::unique_ptr<NodeProgram>> programs_;
   std::vector<Rng> node_rng_;
-  std::vector<Inbox> inflight_;  ///< messages to deliver next round
-  /// Echo deliveries (duplication faults) to place one round later.
-  struct PendingEcho {
-    NodeId from = 0;
-    NodeId to = 0;
-    std::size_t slot = 0;  ///< receiver's slot for `from`
-    Message msg;
-  };
-  std::vector<PendingEcho> pending_echo_;
-  std::vector<char> was_crashed_;  ///< crash state last round (transitions)
-  std::vector<std::uint64_t> edge_bits_;  ///< per undirected edge id
-  std::vector<std::vector<std::size_t>> edge_id_;  ///< per node, per slot
+
+  // Flat message arenas, one entry per directed slot (see topology.hpp).
+  // in_*: messages consumed this round, indexed by receiver-side slot.
+  // out_*: messages produced this round, indexed by sender-side slot.
+  // echo_*: duplication echoes staged for the next round, receiver-side.
+  // All payload capacity is retained across rounds — after warm-up the
+  // round loop performs no allocations.
+  std::vector<std::uint8_t> in_kind_;
+  std::vector<Message> in_msgs_;
+  std::vector<std::uint8_t> out_kind_;
+  std::vector<Message> out_msgs_;
+  std::vector<std::uint8_t> echo_kind_;
+  std::vector<Message> echo_msgs_;
+  std::vector<std::uint64_t> dbits_;  ///< delivered bits per directed slot
+
+  std::vector<std::uint8_t> was_crashed_;  ///< crash state last round
+  std::vector<std::uint8_t> crashed_now_;  ///< crash state this round
+
+  ThreadPool pool_;
+  std::size_t num_shards_ = 1;
+  std::vector<std::pair<NodeId, NodeId>> shard_range_;  ///< [begin, end) nodes
+  std::vector<ShardCounters> shard_;
+  std::vector<std::exception_ptr> shard_error_;
+
+  std::size_t inflight_count_ = 0;  ///< occupied slots in the inbound arena
+  std::size_t echo_count_ = 0;      ///< staged echoes awaiting placement
   RunStats stats_;
 };
 

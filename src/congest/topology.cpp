@@ -1,0 +1,41 @@
+#include "congest/topology.hpp"
+
+#include <algorithm>
+
+namespace congestlb::congest {
+
+std::size_t Topology::slot_of(NodeId v, NodeId u) const {
+  const auto nb = neighbors_of(v);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), u);
+  if (it == nb.end() || *it != u) return kNoSlot;
+  return static_cast<std::size_t>(it - nb.begin());
+}
+
+std::shared_ptr<const Topology> Topology::build(const graph::Graph& g) {
+  auto topo = std::make_shared<Topology>();
+  topo->n = g.num_nodes();
+  topo->m = g.num_edges();
+
+  graph::Csr csr = graph::export_csr(g);
+  topo->offsets = std::move(csr.offsets);
+  topo->neighbors = std::move(csr.targets);
+
+  topo->weights.resize(topo->n);
+  for (NodeId v = 0; v < topo->n; ++v) topo->weights[v] = g.weight(v);
+
+  // reverse_slot via the cursor trick: iterating senders u in ascending
+  // order visits, for each receiver v, the entries "u appears in v's sorted
+  // list" in ascending u — so u's position in v's list is exactly how many
+  // earlier senders were adjacent to v.
+  topo->reverse_slot.resize(topo->neighbors.size());
+  std::vector<std::uint32_t> cursor(topo->n, 0);
+  for (NodeId u = 0; u < topo->n; ++u) {
+    for (std::size_t d = topo->offsets[u]; d < topo->offsets[u + 1]; ++d) {
+      const NodeId v = topo->neighbors[d];
+      topo->reverse_slot[d] = cursor[v]++;
+    }
+  }
+  return topo;
+}
+
+}  // namespace congestlb::congest

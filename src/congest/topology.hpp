@@ -1,0 +1,54 @@
+// Immutable flat topology snapshot for the CONGEST engine.
+//
+// Built once per graph and shared (read-only) by every phase of the
+// simulator, including all worker threads of the parallel round executor.
+// The layout is CSR: neighbors of v occupy neighbors[offsets[v] ..
+// offsets[v+1]), sorted ascending. A *directed slot* is an index into that
+// range — slot d = offsets[u] + s addresses the edge u -> neighbors[d].
+//
+// The precomputed reverse_slot map is what removes the per-message binary
+// search from the delivery hot path: for directed slot d = (u, s) with
+// v = neighbors[d], reverse_slot[d] is the position of u in v's neighbor
+// list, so the receiver-side slot of the message u -> v is
+// offsets[v] + reverse_slot[d], an O(1) lookup.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestlb::congest {
+
+using graph::NodeId;
+
+struct Topology {
+  std::size_t n = 0;  ///< nodes
+  std::size_t m = 0;  ///< undirected edges; 2m directed slots
+
+  std::vector<std::size_t> offsets;        ///< size n+1
+  std::vector<NodeId> neighbors;           ///< size 2m, sorted per node
+  std::vector<std::uint32_t> reverse_slot; ///< size 2m, see file comment
+  std::vector<graph::Weight> weights;      ///< size n
+
+  std::size_t degree(NodeId v) const { return offsets[v + 1] - offsets[v]; }
+
+  std::span<const NodeId> neighbors_of(NodeId v) const {
+    return {neighbors.data() + offsets[v], degree(v)};
+  }
+
+  static constexpr std::size_t kNoSlot = ~static_cast<std::size_t>(0);
+
+  /// Position of u in v's neighbor list, or kNoSlot when {u,v} is not an
+  /// edge. O(log deg) — used only off the hot path (bits_on_edge).
+  std::size_t slot_of(NodeId v, NodeId u) const;
+
+  /// Snapshot g's adjacency. The graph may be mutated or destroyed
+  /// afterwards; the topology is self-contained.
+  static std::shared_ptr<const Topology> build(const graph::Graph& g);
+};
+
+}  // namespace congestlb::congest

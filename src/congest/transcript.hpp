@@ -19,6 +19,10 @@ struct TranscriptEntry {
   graph::NodeId from = 0;
   graph::NodeId to = 0;
   std::size_t bits = 0;
+
+  /// Field-wise equality — the determinism suite compares whole transcripts.
+  friend bool operator==(const TranscriptEntry&,
+                         const TranscriptEntry&) = default;
 };
 
 class TranscriptRecorder {

@@ -42,19 +42,97 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
   return std::binary_search(nu.begin(), nu.end(), v);
 }
 
+void Graph::reserve_edges(std::size_t expected_edges) {
+  if (adj_.empty()) return;
+  const std::size_t per_node = 2 * expected_edges / adj_.size() + 1;
+  for (auto& nb : adj_) nb.reserve(nb.size() + per_node);
+}
+
+std::size_t Graph::finalize_bulk_node(NodeId v) {
+  auto& nb = adj_[v];
+  std::sort(nb.begin(), nb.end());
+  CLB_EXPECT(!std::binary_search(nb.begin(), nb.end(), v),
+             "self-loops are not allowed");
+  nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+  return nb.size();
+}
+
+std::size_t Graph::add_edges(
+    std::span<const std::pair<NodeId, NodeId>> edges) {
+  if (edges.empty()) return 0;
+  std::vector<NodeId> touched;
+  touched.reserve(2 * edges.size());
+  for (auto [u, v] : edges) {
+    check_node(u);
+    check_node(v);
+    CLB_EXPECT(u != v, "self-loops are not allowed");
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+    touched.push_back(u);
+    touched.push_back(v);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  // The pre-bulk lists were sorted and unique, so dedup removes exactly the
+  // appends that duplicated an existing or batch-repeated edge; every
+  // surviving append counts its edge twice (once per endpoint).
+  std::size_t removed = 0;
+  for (NodeId v : touched) {
+    const std::size_t before = adj_[v].size();
+    removed += before - finalize_bulk_node(v);
+  }
+  const std::size_t added = (2 * edges.size() - removed) / 2;
+  num_edges_ += added;
+  return added;
+}
+
 void Graph::add_clique(std::span<const NodeId> nodes) {
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-      add_edge(nodes[i], nodes[j]);
+  if (nodes.size() < 2) return;
+  std::size_t old_total = 0;
+  for (NodeId v : nodes) {
+    check_node(v);
+    old_total += adj_[v].size();
+  }
+  for (NodeId u : nodes) {
+    auto& nb = adj_[u];
+    nb.reserve(nb.size() + nodes.size() - 1);
+    for (NodeId v : nodes) {
+      if (u != v) nb.push_back(v);
     }
   }
+  // Lists were sorted+unique before the append, so the surviving growth
+  // counts every new edge exactly twice (once per endpoint).
+  std::size_t new_total = 0;
+  for (NodeId v : nodes) new_total += finalize_bulk_node(v);
+  num_edges_ += (new_total - old_total) / 2;
 }
 
 void Graph::add_biclique(std::span<const NodeId> a,
                          std::span<const NodeId> b) {
+  if (a.empty() || b.empty()) return;
+  std::size_t old_total = 0;
   for (NodeId u : a) {
-    for (NodeId v : b) add_edge(u, v);
+    check_node(u);
+    old_total += adj_[u].size();
   }
+  for (NodeId v : b) {
+    check_node(v);
+    old_total += adj_[v].size();
+  }
+  for (NodeId u : a) {
+    auto& nb = adj_[u];
+    nb.reserve(nb.size() + b.size());
+    nb.insert(nb.end(), b.begin(), b.end());
+  }
+  for (NodeId v : b) {
+    auto& nb = adj_[v];
+    nb.reserve(nb.size() + a.size());
+    nb.insert(nb.end(), a.begin(), a.end());
+  }
+  std::size_t new_total = 0;
+  for (NodeId u : a) new_total += finalize_bulk_node(u);
+  for (NodeId v : b) new_total += finalize_bulk_node(v);
+  num_edges_ += (new_total - old_total) / 2;
 }
 
 const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
@@ -170,6 +248,21 @@ void Graph::set_label(NodeId v, std::string label) {
 
 bool Graph::operator==(const Graph& other) const {
   return adj_ == other.adj_ && weight_ == other.weight_;
+}
+
+Csr export_csr(const Graph& g) {
+  Csr csr;
+  const std::size_t n = g.num_nodes();
+  csr.offsets.resize(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    csr.offsets[v + 1] = csr.offsets[v] + g.degree(v);
+  }
+  csr.targets.resize(csr.offsets[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto& nb = g.neighbors(v);
+    std::copy(nb.begin(), nb.end(), csr.targets.begin() + csr.offsets[v]);
+  }
+  return csr;
 }
 
 std::vector<std::pair<NodeId, NodeId>> edge_list(const Graph& g) {

@@ -12,12 +12,20 @@ LinearConstruction::LinearConstruction(GadgetParams params, std::size_t t)
   const std::size_t npc = params_.nodes_per_copy();
   g_ = graph::Graph(t_ * npc);
 
-  // t copies of the base gadget H.
+  // Bulk construction: gather everything into one batch so each adjacency
+  // list is sorted once, instead of a sorted insert per edge.
   const auto base_edges = graph::edge_list(base_.graph());
+  const std::size_t p = params_.clique_size();
+  const std::size_t inter_copy = t_ * (t_ - 1) / 2 *
+                                 params_.num_positions() * p * (p - 1);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(t_ * base_edges.size() + inter_copy);
+
+  // t copies of the base gadget H.
   for (std::size_t i = 0; i < t_; ++i) {
     const NodeId offset = i * npc;
     for (auto [u, v] : base_edges) {
-      g_.add_edge(offset + u, offset + v);
+      edges.emplace_back(offset + u, offset + v);
     }
     for (NodeId local = 0; local < npc; ++local) {
       g_.set_label(offset + local,
@@ -28,19 +36,20 @@ LinearConstruction::LinearConstruction(GadgetParams params, std::size_t t)
   // Inter-copy connections (Figure 2): for each position h and each pair of
   // copies i < j, all edges between C^i_h and C^j_h except the natural
   // perfect matching {sigma^i_(h,r), sigma^j_(h,r)}.
-  const std::size_t p = params_.clique_size();
   for (std::size_t i = 0; i < t_; ++i) {
     for (std::size_t j = i + 1; j < t_; ++j) {
       for (std::size_t h = 0; h < params_.num_positions(); ++h) {
         for (std::size_t r1 = 0; r1 < p; ++r1) {
           for (std::size_t r2 = 0; r2 < p; ++r2) {
             if (r1 == r2) continue;
-            g_.add_edge(code_node(i, h, r1), code_node(j, h, r2));
+            edges.emplace_back(code_node(i, h, r1), code_node(j, h, r2));
           }
         }
       }
     }
   }
+  g_.reserve_edges(edges.size());
+  g_.add_edges(edges);
 }
 
 graph::Graph LinearConstruction::instantiate(

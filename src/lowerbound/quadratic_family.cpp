@@ -13,12 +13,20 @@ QuadraticConstruction::QuadraticConstruction(GadgetParams params,
   const std::size_t npc = params_.nodes_per_copy();
   g_ = graph::Graph(2 * t_ * npc);
 
+  // Bulk construction: gather everything into one batch so each adjacency
+  // list is sorted once, instead of a sorted insert per edge.
   const auto base_edges = graph::edge_list(base_.graph());
+  const std::size_t p = params_.clique_size();
+  const std::size_t inter_copy = 2 * (t_ * (t_ - 1) / 2) *
+                                 params_.num_positions() * p * (p - 1);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(2 * t_ * base_edges.size() + inter_copy);
+
   for (std::size_t i = 0; i < t_; ++i) {
     for (std::size_t b = 0; b < 2; ++b) {
       const NodeId offset = a_node(i, b, 0);
       for (auto [u, v] : base_edges) {
-        g_.add_edge(offset + u, offset + v);
+        edges.emplace_back(offset + u, offset + v);
       }
       for (NodeId local = 0; local < npc; ++local) {
         g_.set_label(offset + local, base_.graph().label(local) + "^(" +
@@ -33,7 +41,6 @@ QuadraticConstruction::QuadraticConstruction(GadgetParams params,
   }
 
   // Within each block: the Figure-2 anti-matchings between copies.
-  const std::size_t p = params_.clique_size();
   for (std::size_t b = 0; b < 2; ++b) {
     for (std::size_t i = 0; i < t_; ++i) {
       for (std::size_t j = i + 1; j < t_; ++j) {
@@ -41,13 +48,15 @@ QuadraticConstruction::QuadraticConstruction(GadgetParams params,
           for (std::size_t r1 = 0; r1 < p; ++r1) {
             for (std::size_t r2 = 0; r2 < p; ++r2) {
               if (r1 == r2) continue;
-              g_.add_edge(code_node(i, b, h, r1), code_node(j, b, h, r2));
+              edges.emplace_back(code_node(i, b, h, r1), code_node(j, b, h, r2));
             }
           }
         }
       }
     }
   }
+  g_.reserve_edges(edges.size());
+  g_.add_edges(edges);
 }
 
 graph::Graph QuadraticConstruction::instantiate(
@@ -57,15 +66,18 @@ graph::Graph QuadraticConstruction::instantiate(
              "instantiate: instance string length must be k^2");
   CLB_EXPECT(inst.t == t_, "instantiate: instance t mismatch");
   graph::Graph fx = g_;
+  std::vector<std::pair<NodeId, NodeId>> zero_edges;
+  zero_edges.reserve(t_ * params_.k * params_.k);
   for (std::size_t i = 0; i < t_; ++i) {
     for (std::size_t m1 = 0; m1 < params_.k; ++m1) {
       for (std::size_t m2 = 0; m2 < params_.k; ++m2) {
         if (inst.strings[i][pair_index(m1, m2)] == 0) {
-          fx.add_edge(a_node(i, 0, m1), a_node(i, 1, m2));
+          zero_edges.emplace_back(a_node(i, 0, m1), a_node(i, 1, m2));
         }
       }
     }
   }
+  fx.add_edges(zero_edges);
   return fx;
 }
 

@@ -39,7 +39,8 @@ ReductionReport run_reduction(
     const std::size_t po = owner(from);
     const std::size_t pd = owner(to);
     if (po == pd) return;  // internal to one player: simulated for free
-    board.post(po, msg.data, msg.bits,
+    board.post(po, std::vector<std::byte>(msg.data.begin(), msg.data.end()),
+               msg.bits,
                "msg " + std::to_string(from) + "->" + std::to_string(to));
     observed_cut_bits += msg.bits;
     if (rep.cut_bits_per_round.size() <= round) {

@@ -1,0 +1,27 @@
+// Heap-allocation counting for the engine's zero-allocation guarantee.
+//
+// Targets that link the `clb_alloc_hook` CMake library get replacement
+// global operator new/delete that count every allocation through a relaxed
+// atomic. The engine regression test and the JSON benches use the delta
+// across a window of rounds to prove (and report) allocations/round.
+//
+// Targets that do not link the hook must not call these functions — the
+// symbols live only in clb_alloc_hook.
+
+#pragma once
+
+#include <cstdint>
+
+namespace congestlb::allochook {
+
+/// Total operator-new calls in this process so far.
+std::uint64_t allocation_count();
+
+/// Total bytes requested from operator new so far.
+std::uint64_t allocated_bytes();
+
+/// Always true when the hook is linked (exists so callers can assert the
+/// binary really carries the counting allocator).
+bool hook_active();
+
+}  // namespace congestlb::allochook

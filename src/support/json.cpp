@@ -1,0 +1,144 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <ostream>
+
+#include "support/expect.hpp"
+
+namespace congestlb {
+
+JsonWriter::JsonWriter(std::ostream& os) : os_(&os) {}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < has_element_.size(); ++i) *os_ << "  ";
+}
+
+void JsonWriter::separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value follows "key": inline
+  }
+  if (!has_element_.empty()) {
+    if (has_element_.back()) *os_ << ',';
+    *os_ << '\n';
+    indent();
+    has_element_.back() = true;
+  }
+}
+
+void JsonWriter::write_escaped(std::string_view s) {
+  *os_ << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *os_ << "\\\""; break;
+      case '\\': *os_ << "\\\\"; break;
+      case '\n': *os_ << "\\n"; break;
+      case '\t': *os_ << "\\t"; break;
+      case '\r': *os_ << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          *os_ << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          *os_ << c;
+        }
+    }
+  }
+  *os_ << '"';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  *os_ << '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CLB_EXPECT(!has_element_.empty(), "JsonWriter: unbalanced end_object");
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) {
+    *os_ << '\n';
+    indent();
+  }
+  *os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  *os_ << '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CLB_EXPECT(!has_element_.empty(), "JsonWriter: unbalanced end_array");
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) {
+    *os_ << '\n';
+    indent();
+  }
+  *os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  CLB_EXPECT(!after_key_, "JsonWriter: key after key");
+  separate();
+  write_escaped(k);
+  *os_ << ": ";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  separate();
+  write_escaped(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  separate();
+  *os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  separate();
+  if (std::isfinite(v)) {
+    const auto flags = os_->flags();
+    const auto precision = os_->precision();
+    os_->precision(12);
+    *os_ << v;
+    os_->flags(flags);
+    os_->precision(precision);
+  } else {
+    *os_ << "null";  // JSON has no Inf/NaN
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  separate();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  separate();
+  *os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return value(static_cast<std::int64_t>(v));
+}
+
+}  // namespace congestlb

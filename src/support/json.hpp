@@ -1,0 +1,59 @@
+// Minimal streaming JSON writer for machine-readable benchmark artifacts.
+//
+// Benches emit BENCH_*.json files (see docs/PERFORMANCE.md) so the perf
+// trajectory of the simulator can be tracked across PRs by scripts instead
+// of by scraping stdout tables. The writer handles nesting, commas, and
+// string escaping; values are emitted in insertion order.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace congestlb {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer. Emits pretty-printed
+  /// JSON with two-space indentation.
+  explicit JsonWriter(std::ostream& os);
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit the key of the next object member.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+
+  /// key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void separate();  ///< comma/newline/indent before a new element
+  void indent();
+  void write_escaped(std::string_view s);
+
+  std::ostream* os_;
+  /// One entry per open container: true once the container has an element.
+  std::vector<bool> has_element_;
+  bool after_key_ = false;
+};
+
+}  // namespace congestlb

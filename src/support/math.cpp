@@ -6,27 +6,6 @@
 
 namespace congestlb {
 
-int ceil_log2(std::uint64_t x) {
-  CLB_EXPECT(x >= 1, "ceil_log2 requires x >= 1");
-  int bits = 0;
-  std::uint64_t v = x - 1;
-  while (v > 0) {
-    ++bits;
-    v >>= 1;
-  }
-  return bits;
-}
-
-int floor_log2(std::uint64_t x) {
-  CLB_EXPECT(x >= 1, "floor_log2 requires x >= 1");
-  int bits = -1;
-  while (x > 0) {
-    ++bits;
-    x >>= 1;
-  }
-  return bits;
-}
-
 std::optional<std::uint64_t> checked_pow(std::uint64_t base,
                                          std::uint64_t exp) {
   std::uint64_t result = 1;

@@ -7,14 +7,35 @@
 #include <cstdint>
 #include <optional>
 
+#include "support/expect.hpp"
+
 namespace congestlb {
 
 /// ceil(log2(x)) for x >= 1; 0 for x == 1. This is the bit width used for
-/// CONGEST message budgets (O(log n) bits) and node identifiers.
-int ceil_log2(std::uint64_t x);
+/// CONGEST message budgets (O(log n) bits) and node identifiers. constexpr so
+/// bandwidth formulas (congest_bandwidth_bits) can be evaluated at compile
+/// time.
+constexpr int ceil_log2(std::uint64_t x) {
+  CLB_EXPECT(x >= 1, "ceil_log2 requires x >= 1");
+  int bits = 0;
+  std::uint64_t v = x - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
 
 /// floor(log2(x)) for x >= 1.
-int floor_log2(std::uint64_t x);
+constexpr int floor_log2(std::uint64_t x) {
+  CLB_EXPECT(x >= 1, "floor_log2 requires x >= 1");
+  int bits = -1;
+  while (x > 0) {
+    ++bits;
+    x >>= 1;
+  }
+  return bits;
+}
 
 /// base^exp if it fits in uint64, std::nullopt on overflow.
 std::optional<std::uint64_t> checked_pow(std::uint64_t base, std::uint64_t exp);

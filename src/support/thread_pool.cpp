@@ -1,0 +1,70 @@
+#include "support/thread_pool.hpp"
+
+namespace congestlb {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads > 1) {
+    workers_.reserve(num_threads - 1);
+    for (std::size_t i = 0; i + 1 < num_threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::drain() {
+  while (true) {
+    const std::size_t s = next_shard_.fetch_add(1, std::memory_order_relaxed);
+    if (s >= num_shards_) break;
+    (*task_)(s);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_ready_.wait(
+          lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--active_workers_ == 0) batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(std::size_t num_shards,
+                     const std::function<void(std::size_t)>& fn) {
+  if (workers_.empty()) {
+    for (std::size_t s = 0; s < num_shards; ++s) fn(s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task_ = &fn;
+    num_shards_ = num_shards;
+    next_shard_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  drain();  // the calling thread participates
+  std::unique_lock<std::mutex> lk(mu_);
+  batch_done_.wait(lk, [&] { return active_workers_ == 0; });
+  task_ = nullptr;
+}
+
+}  // namespace congestlb

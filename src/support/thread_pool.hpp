@@ -1,0 +1,64 @@
+// A small reusable worker pool for deterministic sharded parallelism.
+//
+// The CONGEST engine partitions nodes into contiguous shards and runs one
+// task per shard per phase; the pool hands shard indices to workers through
+// an atomic counter. Which thread executes which shard is scheduling noise —
+// callers must keep all cross-shard state disjoint (per-shard counters,
+// per-slot arrays) and merge results in shard-index order, which is what
+// makes the parallel engine bit-identical to the serial one.
+//
+// run() is allocation-light by design: the task is passed by reference and
+// the pool reuses its synchronization state across invocations, so a
+// long-lived Network pays no per-round setup beyond two condition-variable
+// round trips.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace congestlb {
+
+class ThreadPool {
+ public:
+  /// A pool that executes with `num_threads` total threads of parallelism:
+  /// num_threads - 1 workers are spawned and the thread calling run() is the
+  /// last participant. num_threads <= 1 spawns nothing (run() degrades to a
+  /// plain serial loop).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads of parallelism (workers + the calling thread).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Invoke fn(shard) for every shard in [0, num_shards), distributing
+  /// shards across all threads; blocks until every shard completed. fn must
+  /// not throw (wrap and capture exceptions per shard) and must be safe to
+  /// call concurrently for distinct shard arguments.
+  void run(std::size_t num_shards, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void drain();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t num_shards_ = 0;
+  std::atomic<std::size_t> next_shard_{0};
+  std::size_t active_workers_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace congestlb

@@ -135,6 +135,11 @@ TEST(Network, AutoBandwidthIsLogarithmic) {
   EXPECT_EQ(congest_bandwidth_bits(2), 4u);
   EXPECT_EQ(congest_bandwidth_bits(1024), 40u);
   EXPECT_EQ(congest_bandwidth_bits(1025), 44u);
+  // The budget is constexpr so program tables can embed it at compile time.
+  static_assert(congest_bandwidth_bits(0) == 4);
+  static_assert(congest_bandwidth_bits(2) == 4);
+  static_assert(congest_bandwidth_bits(1024) == 40);
+  static_assert(congest_bandwidth_bits(1 << 20) == 80);
 }
 
 TEST(Network, DeliversNextRound) {
@@ -291,8 +296,12 @@ TEST(Network, NodeInfoIsAccurate) {
   EXPECT_EQ(info.id, 0u);
   EXPECT_EQ(info.n, 4u);
   EXPECT_EQ(info.weight, 42);
-  EXPECT_EQ(info.neighbors, (std::vector<graph::NodeId>{1, 2, 3}));
-  EXPECT_EQ(net.info(1).neighbors, (std::vector<graph::NodeId>{0}));
+  EXPECT_EQ(std::vector<graph::NodeId>(info.neighbors.begin(),
+                                       info.neighbors.end()),
+            (std::vector<graph::NodeId>{1, 2, 3}));
+  EXPECT_EQ(std::vector<graph::NodeId>(net.info(1).neighbors.begin(),
+                                       net.info(1).neighbors.end()),
+            (std::vector<graph::NodeId>{0}));
 }
 
 TEST(Network, OutputsVectorCoversAllNodes) {
@@ -389,6 +398,38 @@ TEST(Outbox, OneMessagePerNeighborPerRound) {
                InvariantError);
   Message empty;
   EXPECT_THROW(out.send(1, empty), InvariantError);
+}
+
+TEST(Outbox, EnforcesBandwidthAtSendTime) {
+  Outbox out(2, /*cap_bits=*/8);
+  out.send(0, std::move(MessageWriter().put(0xFF, 8)).finish());  // exactly B
+  EXPECT_THROW(out.send(1, std::move(MessageWriter().put(0x1FF, 9)).finish()),
+               InvariantError);
+  EXPECT_FALSE(out.has(1)) << "rejected message must not occupy the slot";
+}
+
+TEST(Network, OversendThrowsFromSendEvenIfFaultWouldDropIt) {
+  // The cap is a program-correctness check: it fires inside Outbox::send,
+  // before the fault schedule could possibly lose the message.
+  class Oversender final : public NodeProgram {
+   public:
+    void round(const NodeInfo& info, const Inbox&, Outbox& outbox,
+               Rng&) override {
+      outbox.send_all(std::move(MessageWriter()
+                                    .put(0, info.bits_per_edge)
+                                    .put(1, 1))
+                          .finish());
+    }
+    bool finished() const override { return false; }
+  };
+  auto g = triangle();
+  NetworkConfig cfg;
+  cfg.bits_per_edge = 4;
+  cfg.faults.drop_rate = 1.0;  // every message would be dropped anyway
+  Network net(g, [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<Oversender>();
+  }, cfg);
+  EXPECT_THROW(net.run(), InvariantError);
 }
 
 }  // namespace

@@ -1,0 +1,102 @@
+// Zero-allocation regression test for the simulation engine hot path.
+//
+// Links clb_alloc_hook, whose replacement global operator new/delete count
+// every heap allocation in the process. After a short warm-up (payload
+// small-buffers engaged, arenas sized), running further rounds of a
+// steady-state program must perform ZERO allocations — that is the
+// engine-rewrite contract, and the benches report it as allocs/round.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "congest/message.hpp"
+#include "congest/network.hpp"
+#include "graph/generators.hpp"
+#include "support/alloc_hook.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::congest {
+namespace {
+
+/// Sends a 16-bit payload to every neighbor, forever; allocation-free per
+/// round (MessageWriter's payload fits the small-buffer inline capacity).
+class SteadyFlood final : public NodeProgram {
+ public:
+  void round(const NodeInfo& info, const Inbox& inbox, Outbox& outbox,
+             Rng&) override {
+    std::size_t heard = 0;
+    for (const auto& m : inbox) {
+      if (m) ++heard;
+    }
+    heard_ += heard;
+    if (!info.neighbors.empty()) {
+      outbox.send_all(
+          std::move(MessageWriter().put(info.id & 0xFFFF, 16)).finish());
+    }
+  }
+  bool finished() const override { return false; }
+  std::int64_t output() const override {
+    return static_cast<std::int64_t>(heard_);
+  }
+
+ private:
+  std::size_t heard_ = 0;
+};
+
+TEST(EngineAlloc, HookIsLinked) {
+  ASSERT_TRUE(allochook::hook_active());
+  const auto before = allochook::allocation_count();
+  auto p = std::make_unique<int>(42);
+  EXPECT_GT(allochook::allocation_count(), before);
+}
+
+TEST(EngineAlloc, SteadyStateRoundsAllocateNothing) {
+  Rng rng(2024);
+  const auto g = graph::gnp_random_connected(rng, 256, 0.05);
+  NetworkConfig cfg;
+  cfg.bits_per_edge = 16;
+  cfg.max_rounds = 1'000'000;
+  Network net(g, [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<SteadyFlood>();
+  }, cfg);
+
+  // Warm-up: first sends engage payload buffers; a few extra rounds for
+  // any one-time lazy work elsewhere.
+  net.run_rounds(8);
+
+  const auto before = allochook::allocation_count();
+  net.run_rounds(100);
+  const auto after = allochook::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "engine hot path allocated " << (after - before)
+      << " times over 100 steady-state rounds";
+}
+
+TEST(EngineAlloc, SteadyStateRoundsAllocateNothingUnderFaults) {
+  // Fault classification, corruption-in-place, and echo staging must also
+  // be allocation-free: echoes copy into retained arena capacity.
+  Rng rng(4048);
+  const auto g = graph::gnp_random_connected(rng, 128, 0.08);
+  NetworkConfig cfg;
+  cfg.bits_per_edge = 16;
+  cfg.max_rounds = 1'000'000;
+  cfg.faults.drop_rate = 0.2;
+  cfg.faults.corrupt_rate = 0.1;
+  cfg.faults.duplicate_rate = 0.1;
+  Network net(g, [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<SteadyFlood>();
+  }, cfg);
+
+  net.run_rounds(8);
+
+  const auto before = allochook::allocation_count();
+  net.run_rounds(100);
+  const auto after = allochook::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "faulted hot path allocated " << (after - before)
+      << " times over 100 steady-state rounds";
+}
+
+}  // namespace
+}  // namespace congestlb::congest
