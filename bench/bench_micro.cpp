@@ -26,6 +26,8 @@
 #include "lowerbound/linear_family.hpp"
 #include "lowerbound/structured_solver.hpp"
 #include "maxis/branch_and_bound.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 
 namespace clb = congestlb;
@@ -218,6 +220,99 @@ BENCHMARK(BM_EngineSteadyRound)
     ->Args({1024, 4})
     ->Args({4096, 1})
     ->Args({4096, 4});
+
+void BM_TraceEmit(benchmark::State& state) {
+  // Raw cost of one ring push (the per-event price every traced delivery
+  // pays). The ring wraps constantly, so this includes overwrite-oldest.
+  if (!clb::obs::trace_compiled_in()) {
+    state.SkipWithError("CONGESTLB_TRACE=0");
+    return;
+  }
+  clb::obs::Tracer tracer({.capacity = std::size_t{1} << 12});
+  std::uint32_t r = 0;
+  for (auto _ : state) {
+    tracer.emit({16, r++, 3, 5, clb::obs::EventKind::kDeliver});
+  }
+  benchmark::DoNotOptimize(tracer.recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceEmit);
+
+void BM_TraceStageAndSeal(benchmark::State& state) {
+  // The engine's actual path: range(0) staged events per shard across 4
+  // shards, then the deterministic phase-major/shard-ascending seal.
+  if (!clb::obs::trace_compiled_in()) {
+    state.SkipWithError("CONGESTLB_TRACE=0");
+    return;
+  }
+  const std::uint32_t per_shard = static_cast<std::uint32_t>(state.range(0));
+  constexpr std::size_t kShards = 4;
+  clb::obs::Tracer tracer({.capacity = std::size_t{1} << 16});
+  tracer.bind(kShards, per_shard);
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < kShards; ++s) {
+      for (std::uint32_t i = 0; i < per_shard; ++i) {
+        tracer.emit_shard(1, s, {16, 0, i, i + 1,
+                                 clb::obs::EventKind::kDeliver});
+      }
+    }
+    tracer.seal_round();
+  }
+  benchmark::DoNotOptimize(tracer.recorded());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kShards * per_shard));
+}
+BENCHMARK(BM_TraceStageAndSeal)->Arg(16)->Arg(256);
+
+void BM_MetricsCounterAdd(benchmark::State& state) {
+  // Sharded-cell counter increment — the metrics price on the hot path.
+  clb::obs::MetricsRegistry reg(4);
+  clb::obs::Counter& c = reg.counter("bench.count");
+  std::size_t shard = 0;
+  for (auto _ : state) {
+    c.add(1, shard);
+    shard = (shard + 1) & 3;
+  }
+  benchmark::DoNotOptimize(c.value());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MetricsCounterAdd);
+
+void BM_EngineSteadyRoundTraced(benchmark::State& state) {
+  // BM_EngineSteadyRound with a live tracer (sends recorded, every round
+  // sampled) and metrics attached; compare against the untraced series for
+  // the per-round observability overhead. range(1) = num_threads.
+  if (!clb::obs::trace_compiled_in()) {
+    state.SkipWithError("CONGESTLB_TRACE=0");
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  clb::Rng rng(5);
+  const auto g =
+      clb::graph::gnp_random_connected(rng, n, 8.0 / static_cast<double>(n));
+  clb::obs::Tracer tracer(
+      {.capacity = std::size_t{1} << 16, .record_sends = true});
+  clb::obs::MetricsRegistry metrics;
+  clb::congest::NetworkConfig cfg;
+  cfg.bits_per_edge = 16;
+  cfg.max_rounds = 1'000'000'000;
+  cfg.num_threads = static_cast<std::size_t>(state.range(1));
+  cfg.tracer = &tracer;
+  cfg.metrics = &metrics;
+  clb::congest::Network net(g, [](clb::graph::NodeId,
+                                  const clb::congest::NodeInfo&) {
+    return std::make_unique<MicroFlood>();
+  }, cfg);
+  net.run_rounds(4);  // warm-up
+  for (auto _ : state) {
+    net.run_rounds(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2 * static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_EngineSteadyRoundTraced)
+    ->Args({1024, 1})
+    ->Args({1024, 4});
 
 }  // namespace
 

@@ -30,6 +30,9 @@
 #include "congest/algorithms/weighted_greedy.hpp"
 #include "graph/generators.hpp"
 #include "maxis/branch_and_bound.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/reduction.hpp"
 #include "support/alloc_hook.hpp"
 #include "support/json.hpp"
@@ -118,12 +121,18 @@ double elapsed_ns(std::chrono::steady_clock::time_point t0,
 }
 
 /// Steady-state throughput: warm the arenas, then time a fixed window.
+/// With tracer/metrics attached the same loop measures the observability
+/// overhead (rows named traced/*; flood/* stays the pristine baseline).
 EngineRow measure_flood(const std::string& name, const clb::graph::Graph& g,
-                        std::size_t threads, std::size_t timed_rounds) {
+                        std::size_t threads, std::size_t timed_rounds,
+                        clb::obs::Tracer* tracer = nullptr,
+                        clb::obs::MetricsRegistry* metrics = nullptr) {
   clb::congest::NetworkConfig cfg;
   cfg.bits_per_edge = 16;
   cfg.max_rounds = 100'000'000;
   cfg.num_threads = threads;
+  cfg.tracer = tracer;
+  cfg.metrics = metrics;
   clb::congest::Network net(g, [](clb::graph::NodeId,
                                   const clb::congest::NodeInfo&) {
     return std::make_unique<SteadyFlood>();
@@ -217,6 +226,28 @@ void engine_throughput_section(std::size_t timed_rounds,
                                 mis_repeats));
   }
 
+  // Observability overhead: the same flood shapes with a live tracer (every
+  // round sampled, sends recorded, 64Ki-event ring that wraps freely) and a
+  // metrics registry attached. The rows are named traced/* — NOT flood/* —
+  // because scripts/check_bench_regression.py holds flood/* to the
+  // untraced-baseline contract; engine_alloc_test separately proves the
+  // traced path is still allocation-free.
+  clb::obs::MetricsRegistry traced_metrics;
+  if (clb::obs::trace_compiled_in()) {
+    auto traced = [&](const std::string& name, const clb::graph::Graph& g,
+                      std::size_t threads) {
+      clb::obs::Tracer tracer(
+          {.capacity = std::size_t{1} << 16, .record_sends = true});
+      return measure_flood(name, g, threads, timed_rounds, &tracer,
+                           &traced_metrics);
+    };
+    for (std::size_t threads :
+         {std::size_t{1}, std::size_t{4}}) {
+      rows.push_back(traced("traced/cycle-1024", cycle, threads));
+      rows.push_back(traced("traced/gnp-1024", gnp, threads));
+    }
+  }
+
   Table t({"workload", "n", "edges", "threads", "ns/round", "messages/s",
            "bits/s", "allocs/round"});
   for (const auto& r : rows) {
@@ -236,6 +267,7 @@ void engine_throughput_section(std::size_t timed_rounds,
   jw.kv("schema", "clb-bench-v1");
   jw.kv("benchmark", "simulation_engine");
   jw.kv("alloc_hook", clb::allochook::hook_active());
+  jw.kv("trace_compiled_in", clb::obs::trace_compiled_in());
   jw.key("entries");
   jw.begin_array();
   for (const auto& r : rows) {
@@ -266,6 +298,10 @@ void engine_throughput_section(std::size_t timed_rounds,
     }
   }
   jw.end_array();
+  // The engine.* counters/histograms accumulated by every traced/* run —
+  // the machine-readable side of docs/OBSERVABILITY.md's overhead table.
+  jw.key("metrics");
+  clb::obs::append_metrics(jw, traced_metrics);
   jw.end_object();
   out << "\n";
   std::cout << "  wrote BENCH_simulation.json (" << rows.size()
@@ -276,6 +312,19 @@ void engine_throughput_section(std::size_t timed_rounds,
       std::cout << "  serial vs seed engine, " << ref.name << ": "
                 << clb::fmt_double(ref.ns_per_round / r.ns_per_round, 1)
                 << "x faster\n";
+    }
+  }
+  // Tracing overhead vs the matching untraced row, for docs/OBSERVABILITY.md.
+  for (const auto& r : rows) {
+    if (r.name.rfind("traced/", 0) != 0) continue;
+    const std::string base = "flood/" + r.name.substr(7);
+    for (const auto& u : rows) {
+      if (u.name != base || u.threads != r.threads) continue;
+      std::cout << "  tracing overhead, " << base << " x" << r.threads
+                << " threads: "
+                << clb::fmt_double(
+                       (r.ns_per_round / u.ns_per_round - 1.0) * 100.0, 1)
+                << "%\n";
     }
   }
 }

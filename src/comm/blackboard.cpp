@@ -1,5 +1,7 @@
 #include "comm/blackboard.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/expect.hpp"
 
 namespace congestlb::comm {
@@ -16,7 +18,28 @@ void Blackboard::post(std::size_t player, std::vector<std::byte> data,
   CLB_EXPECT(bits > 0, "blackboard: empty writes are not charged, don't post them");
   bits_by_player_[player] += bits;
   total_bits_ += bits;
+  if (tracer_) {
+    tracer_->emit({bits, static_cast<std::uint32_t>(entries_.size()),
+                   static_cast<std::uint32_t>(player),
+                   obs::TraceEvent::kNone, obs::EventKind::kBlackboardPost});
+  }
+  if (posts_metric_) {
+    posts_metric_->add(1);
+    bits_metric_->add(bits);
+  }
   entries_.push_back(BoardEntry{player, std::move(data), bits, std::move(tag)});
+}
+
+void Blackboard::attach_observability(obs::Tracer* tracer,
+                                      obs::MetricsRegistry* metrics) {
+  tracer_ = (tracer != nullptr && tracer->enabled()) ? tracer : nullptr;
+  if (metrics != nullptr) {
+    posts_metric_ = &metrics->counter("blackboard.posts");
+    bits_metric_ = &metrics->counter("blackboard.bits");
+  } else {
+    posts_metric_ = nullptr;
+    bits_metric_ = nullptr;
+  }
 }
 
 void Blackboard::post_uint(std::size_t player, std::uint64_t value,

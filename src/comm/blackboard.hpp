@@ -14,6 +14,12 @@
 #include <string>
 #include <vector>
 
+namespace congestlb::obs {
+class Counter;
+class MetricsRegistry;
+class Tracer;
+}
+
 namespace congestlb::comm {
 
 /// One blackboard write. `bits` is the charged cost; `data` holds the
@@ -53,10 +59,19 @@ class Blackboard {
   std::size_t total_bits() const { return total_bits_; }
   std::size_t bits_by(std::size_t player) const;
 
+  /// Mirror every post into a trace (kBlackboardPost, a = player, round =
+  /// entry index, value = charged bits) and/or a metrics registry
+  /// ("blackboard.posts" / "blackboard.bits" counters). Either pointer may
+  /// be null; both are non-owning and must outlive the board.
+  void attach_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
  private:
   std::vector<BoardEntry> entries_;
   std::vector<std::size_t> bits_by_player_;
   std::size_t total_bits_ = 0;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* posts_metric_ = nullptr;
+  obs::Counter* bits_metric_ = nullptr;
 };
 
 }  // namespace congestlb::comm

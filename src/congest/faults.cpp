@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "support/expect.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
@@ -74,6 +75,22 @@ FaultPlan make_fault_plan(const FaultConfig& config, std::size_t num_nodes,
     plan.crashes[v] = span;
   }
   return plan;
+}
+
+void trace_crash_schedule(const FaultPlan& plan, obs::Tracer& tracer) {
+  if (!tracer.enabled()) return;
+  for (NodeId v = 0; v < plan.crashes.size(); ++v) {
+    if (!plan.crashes[v]) continue;
+    const CrashSpan& span = *plan.crashes[v];
+    tracer.emit({0, static_cast<std::uint32_t>(span.crash_round),
+                 static_cast<std::uint32_t>(v), obs::TraceEvent::kNone,
+                 obs::EventKind::kCrashScheduled});
+    if (!span.permanent()) {
+      tracer.emit({0, static_cast<std::uint32_t>(span.recover_round),
+                   static_cast<std::uint32_t>(v), obs::TraceEvent::kNone,
+                   obs::EventKind::kRecoverScheduled});
+    }
+  }
 }
 
 FaultInjector::FaultInjector(FaultConfig config, std::size_t num_nodes,

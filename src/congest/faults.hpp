@@ -31,6 +31,10 @@
 #include "congest/message.hpp"
 #include "graph/graph.hpp"
 
+namespace congestlb::obs {
+class Tracer;
+}
+
 namespace congestlb::congest {
 
 using graph::NodeId;
@@ -101,6 +105,12 @@ struct FaultPlan {
 /// arguments; Network calls this with NetworkConfig::seed.
 FaultPlan make_fault_plan(const FaultConfig& config, std::size_t num_nodes,
                           std::uint64_t seed);
+
+/// Emit the static crash schedule into a trace as kCrashScheduled /
+/// kRecoverScheduled events (one per crashing node, ascending node order,
+/// event.round = the scheduled round). Network calls this once at
+/// construction so a trace is self-describing about upcoming faults.
+void trace_crash_schedule(const FaultPlan& plan, obs::Tracer& tracer);
 
 /// Stateless-per-message fault oracle. Construction precomputes the crash
 /// plan; everything else is evaluated on demand.

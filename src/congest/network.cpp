@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/expect.hpp"
 
 namespace congestlb::congest {
+
+namespace {
+
+/// Trace events carry 32-bit node ids; simulated networks stay far below.
+inline std::uint32_t tid(NodeId v) { return static_cast<std::uint32_t>(v); }
+inline std::uint32_t trnd(std::size_t round) {
+  return static_cast<std::uint32_t>(round);
+}
+
+}  // namespace
 
 // ------------------------------------------------------------------ Outbox --
 
@@ -89,6 +101,42 @@ Network::Network(const graph::Graph& g, const ProgramFactory& factory,
     programs_.push_back(factory(v, infos_[v]));
     CLB_EXPECT(programs_.back() != nullptr, "Network: factory returned null");
   }
+
+  if (config_.tracer && config_.tracer->enabled()) {
+    tracer_ = config_.tracer;
+    trace_sends_ = tracer_->config().record_sends;
+    // Stage capacity: the most events one shard can emit in one phase of
+    // one round — compute emits at most one send per out slot plus one
+    // crash/recover mark per node; deliver emits at most a fresh-message
+    // event plus an echo event per inbound slot.
+    std::size_t max_stage = 0;
+    for (std::size_t s = 0; s < num_shards_; ++s) {
+      const auto [begin, end] = shard_range_[s];
+      const std::size_t shard_slots =
+          topo_->offsets[end] - topo_->offsets[begin];
+      max_stage = std::max(max_stage, 2 * shard_slots + (end - begin) + 4);
+    }
+    tracer_->bind(num_shards_, max_stage);
+    if (injector_.has_value()) {
+      trace_crash_schedule(injector_->plan(), *tracer_);
+    }
+  }
+  if (config_.metrics) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    reg.ensure_shards(num_shards_);
+    em_.rounds = &reg.counter("engine.rounds");
+    em_.messages_delivered = &reg.counter("engine.messages_delivered");
+    em_.bits_delivered = &reg.counter("engine.bits_delivered");
+    em_.messages_dropped = &reg.counter("engine.messages_dropped");
+    em_.bits_dropped = &reg.counter("engine.bits_dropped");
+    em_.messages_corrupted = &reg.counter("engine.messages_corrupted");
+    em_.messages_duplicated = &reg.counter("engine.messages_duplicated");
+    em_.crashes = &reg.counter("engine.crashes");
+    em_.recoveries = &reg.counter("engine.recoveries");
+    em_.inflight = &reg.gauge("engine.inflight_messages");
+    em_.message_bits =
+        &reg.histogram("engine.message_bits", {8, 16, 32, 64, 128, 256});
+  }
 }
 
 bool Network::receiver_lost(NodeId v, std::size_t consume_round) const {
@@ -104,8 +152,24 @@ void Network::compute_shard(std::size_t shard) {
       // Crash bookkeeping: record crash/recovery transitions for this round.
       if (injector_.has_value()) {
         const std::uint8_t c = injector_->node_crashed(v, round) ? 1 : 0;
-        if (c && !was_crashed_[v]) sc.crashes += 1;
-        if (!c && was_crashed_[v]) sc.recoveries += 1;
+        if (c && !was_crashed_[v]) {
+          sc.crashes += 1;
+          if (em_.crashes) em_.crashes->add(1, shard);
+          if (trace_round_) {
+            tracer_->emit_shard(0, shard,
+                                {0, trnd(round), tid(v), obs::TraceEvent::kNone,
+                                 obs::EventKind::kCrash});
+          }
+        }
+        if (!c && was_crashed_[v]) {
+          sc.recoveries += 1;
+          if (em_.recoveries) em_.recoveries->add(1, shard);
+          if (trace_round_) {
+            tracer_->emit_shard(0, shard,
+                                {0, trnd(round), tid(v), obs::TraceEvent::kNone,
+                                 obs::EventKind::kRecover});
+          }
+        }
         was_crashed_[v] = c;
         crashed_now_[v] = c;
       }
@@ -118,6 +182,15 @@ void Network::compute_shard(std::size_t shard) {
       Outbox outbox(out_kind_.data() + off, out_msgs_.data() + off, deg,
                     bits_per_edge_);
       programs_[v]->round(infos_[v], inbox, outbox, node_rng_[v]);
+      if (trace_round_ && trace_sends_) {
+        for (std::size_t s = 0; s < deg; ++s) {
+          if (!out_kind_[off + s]) continue;
+          tracer_->emit_shard(0, shard,
+                              {out_msgs_[off + s].bits, trnd(round), tid(v),
+                               tid(topo_->neighbors[off + s]),
+                               obs::EventKind::kSend});
+        }
+      }
       if (config_.broadcast_only) {
         // All non-empty slots must carry identical payloads.
         const Message* first = nullptr;
@@ -161,6 +234,16 @@ void Network::deliver_shard(std::size_t shard) {
             sc.bits_delivered += in_msgs_[e].bits;
             dbits_[e] += in_msgs_[e].bits;
             in_kind_[e] = kNormal;
+            if (trace_round_) {
+              tracer_->emit_shard(1, shard,
+                                  {in_msgs_[e].bits, trnd(round), tid(nbrs[e]),
+                                   tid(v), obs::EventKind::kDeliver});
+            }
+            if (em_.messages_delivered) {
+              em_.messages_delivered->add(1, shard);
+              em_.bits_delivered->add(in_msgs_[e].bits, shard);
+              em_.message_bits->observe(in_msgs_[e].bits, shard);
+            }
           } else {
             in_kind_[e] = kEmpty;
           }
@@ -185,6 +268,15 @@ void Network::deliver_shard(std::size_t shard) {
           if (lost) {
             sc.dropped += 1;
             sc.bits_dropped += m.bits;
+            if (trace_round_) {
+              tracer_->emit_shard(1, shard,
+                                  {m.bits, trnd(round), tid(u), tid(v),
+                                   obs::EventKind::kDrop});
+            }
+            if (em_.messages_dropped) {
+              em_.messages_dropped->add(1, shard);
+              em_.bits_dropped->add(m.bits, shard);
+            }
           } else {
             const FaultAction action = injector_.has_value()
                                            ? injector_->classify(round, u, v)
@@ -193,21 +285,48 @@ void Network::deliver_shard(std::size_t shard) {
               case FaultAction::kDrop:
                 sc.dropped += 1;
                 sc.bits_dropped += m.bits;
+                if (trace_round_) {
+                  tracer_->emit_shard(1, shard,
+                                      {m.bits, trnd(round), tid(u), tid(v),
+                                       obs::EventKind::kDrop});
+                }
+                if (em_.messages_dropped) {
+                  em_.messages_dropped->add(1, shard);
+                  em_.bits_dropped->add(m.bits, shard);
+                }
                 break;
               case FaultAction::kCorrupt:
                 in_msgs_[e] = m;
                 injector_->corrupt(round, u, v, in_msgs_[e]);
                 sc.corrupted += 1;
                 placed = kNormal;
+                if (trace_round_) {
+                  tracer_->emit_shard(1, shard,
+                                      {in_msgs_[e].bits, trnd(round), tid(u),
+                                       tid(v), obs::EventKind::kDeliverCorrupt});
+                }
+                if (em_.messages_corrupted) {
+                  em_.messages_corrupted->add(1, shard);
+                }
                 break;
               case FaultAction::kDuplicate:
                 in_msgs_[e] = m;
                 placed = kNormal;
                 stage_echo = true;
+                if (trace_round_) {
+                  tracer_->emit_shard(1, shard,
+                                      {m.bits, trnd(round), tid(u), tid(v),
+                                       obs::EventKind::kDeliver});
+                }
                 break;
               case FaultAction::kDeliver:
                 in_msgs_[e] = m;
                 placed = kNormal;
+                if (trace_round_) {
+                  tracer_->emit_shard(1, shard,
+                                      {m.bits, trnd(round), tid(u), tid(v),
+                                       obs::EventKind::kDeliver});
+                }
                 break;
             }
           }
@@ -223,12 +342,25 @@ void Network::deliver_shard(std::size_t shard) {
             sc.duplicated += 1;
             in_msgs_[e] = echo_msgs_[e];
             placed = kEcho;
+            if (trace_round_) {
+              tracer_->emit_shard(1, shard,
+                                  {in_msgs_[e].bits, trnd(round), tid(u),
+                                   tid(v), obs::EventKind::kDeliverEcho});
+            }
+            if (em_.messages_duplicated) {
+              em_.messages_duplicated->add(1, shard);
+            }
           }
         }
         if (placed != kEmpty) {
           sc.delivered += 1;
           sc.bits_delivered += in_msgs_[e].bits;
           dbits_[e] += in_msgs_[e].bits;
+          if (em_.messages_delivered) {
+            em_.messages_delivered->add(1, shard);
+            em_.bits_delivered->add(in_msgs_[e].bits, shard);
+            em_.message_bits->observe(in_msgs_[e].bits, shard);
+          }
         }
         in_kind_[e] = placed;
         if (stage_echo) {
@@ -278,6 +410,11 @@ void Network::rethrow_shard_error() {
 bool Network::step() {
   const bool any_inbound = inflight_count_ > 0;
   for (auto& sc : shard_) sc.reset();
+  trace_round_ = tracer_ != nullptr && tracer_->sampled(stats_.rounds);
+  if (trace_round_) {
+    tracer_->emit({topo_->n, trnd(stats_.rounds), obs::TraceEvent::kNone,
+                   obs::TraceEvent::kNone, obs::EventKind::kRoundBegin});
+  }
 
   // Phase 1: programs run (sharded by sender), filling the send arena.
   pool_.run(num_shards_,
@@ -311,7 +448,18 @@ bool Network::step() {
   if (attempted > 0 && delivered == 0) stats_.rounds_stalled += 1;
   inflight_count_ = delivered;
   echo_count_ = staged;
+  // Seal before the observer runs so the staged phase events precede any
+  // kBlackboardPost the observer emits; kRoundEnd closes the round after.
+  if (trace_round_) tracer_->seal_round();
   if (config_.on_message) notify_observer();
+  if (trace_round_) {
+    tracer_->emit({delivered, trnd(stats_.rounds), obs::TraceEvent::kNone,
+                   obs::TraceEvent::kNone, obs::EventKind::kRoundEnd});
+  }
+  if (em_.rounds) {
+    em_.rounds->add(1);
+    em_.inflight->set(static_cast<std::int64_t>(delivered));
+  }
   stats_.rounds += 1;
   return delivered > 0 || any_inbound;
 }

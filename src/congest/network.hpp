@@ -52,6 +52,14 @@
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 
+namespace congestlb::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class Tracer;
+}  // namespace congestlb::obs
+
 namespace congestlb::congest {
 
 using graph::NodeId;
@@ -227,6 +235,19 @@ struct NetworkConfig {
   /// payloads as corrupted, dropped messages not at all. Invoked serially
   /// in a canonical order regardless of num_threads.
   std::function<void(std::size_t, NodeId, NodeId, const Message&)> on_message;
+  /// Round-level tracer (obs/trace.hpp); null = no tracing. Not owned; must
+  /// outlive the Network. The engine binds per-shard staging buffers at
+  /// construction and records round begin/end, sends, deliveries (normal /
+  /// corrupted / echo), drops, and crash transitions — bit-identical across
+  /// num_threads and allocation-free in the steady state. A tracer whose
+  /// enabled() is false (zero capacity, or CONGESTLB_TRACE=0 builds)
+  /// behaves exactly like null.
+  obs::Tracer* tracer = nullptr;
+  /// Metrics registry (obs/metrics.hpp); null = no metrics. Not owned; must
+  /// outlive the Network. The engine registers engine.* counters, gauges,
+  /// and the engine.message_bits histogram, updating per-shard cells from
+  /// worker threads; merged values equal RunStats for every thread count.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RunStats {
@@ -329,6 +350,23 @@ class Network {
     void reset() { *this = ShardCounters{}; }
   };
 
+  /// Cached handles into NetworkConfig::metrics (all null when no registry
+  /// is bound). Looked up once at construction so hot-path updates are a
+  /// pointer deref plus a per-shard cell increment.
+  struct EngineMetrics {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* messages_delivered = nullptr;
+    obs::Counter* bits_delivered = nullptr;
+    obs::Counter* messages_dropped = nullptr;
+    obs::Counter* bits_dropped = nullptr;
+    obs::Counter* messages_corrupted = nullptr;
+    obs::Counter* messages_duplicated = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Gauge* inflight = nullptr;
+    obs::Histogram* message_bits = nullptr;
+  };
+
   bool step();  ///< one round; returns true if any message was delivered/sent
 
   /// Phase 1 of a round, for one contiguous node shard: crash bookkeeping
@@ -389,6 +427,11 @@ class Network {
   std::size_t inflight_count_ = 0;  ///< occupied slots in the inbound arena
   std::size_t echo_count_ = 0;      ///< staged echoes awaiting placement
   RunStats stats_;
+
+  obs::Tracer* tracer_ = nullptr;  ///< non-null iff tracing is live
+  bool trace_round_ = false;       ///< current round sampled by the tracer?
+  bool trace_sends_ = false;       ///< tracer_->config().record_sends, cached
+  EngineMetrics em_;               ///< all-null when no registry is bound
 };
 
 }  // namespace congestlb::congest

@@ -7,10 +7,22 @@
 #include "lowerbound/linear_family.hpp"
 #include "lowerbound/quadratic_family.hpp"
 #include "maxis/branch_and_bound.hpp"
+#include "obs/metrics.hpp"
 #include "support/expect.hpp"
 #include "support/math.hpp"
 
 namespace congestlb::lb {
+
+namespace {
+
+// Framework-level usage counters in the process-wide default registry: how
+// often each gadget family / checker runs. Counter references are stable for
+// the registry's lifetime, so one lookup per process suffices.
+obs::Counter& family_counter(const char* name) {
+  return obs::default_registry().counter(name);
+}
+
+}  // namespace
 
 LocalityDiff verify_partition_locality(const graph::Graph& a,
                                        const graph::Graph& b,
@@ -18,6 +30,8 @@ LocalityDiff verify_partition_locality(const graph::Graph& a,
   CLB_EXPECT(a.num_nodes() == b.num_nodes(),
              "locality diff: node count mismatch");
   CLB_EXPECT(lo <= hi && hi <= a.num_nodes(), "locality diff: bad range");
+  static obs::Counter& calls = family_counter("lb.locality_checks");
+  calls.add(1);
   LocalityDiff d;
   auto inside = [&](graph::NodeId v) { return v >= lo && v < hi; };
   for (graph::NodeId v = 0; v < a.num_nodes(); ++v) {
@@ -51,6 +65,8 @@ RoundBound reduction_round_bound(std::size_t k_strings, std::size_t t,
                                  std::size_t cut_edges, std::size_t n,
                                  std::size_t bits_per_edge) {
   CLB_EXPECT(cut_edges > 0, "round bound: empty cut gives no bound");
+  static obs::Counter& calls = family_counter("lb.round_bounds");
+  calls.add(1);
   RoundBound rb;
   rb.cc_bits = comm::cks_lower_bound_bits(k_strings, t);
   rb.cut_edges = cut_edges;
@@ -66,6 +82,8 @@ RoundBound reduction_round_bound(std::size_t k_strings, std::size_t t,
 
 RoundBound theorem1_bound(std::size_t n, double eps) {
   CLB_EXPECT(n >= 16, "theorem1_bound: n too small to instantiate");
+  static obs::Counter& calls = family_counter("lb.linear.bounds");
+  calls.add(1);
   const std::size_t t = linear_players_for_epsilon(eps);
   // n = t * (k + (ell+alpha) * p) with the paper-regime (ell, alpha); solve
   // for k approximately: the code gadget contributes Theta(log^2 k) nodes
@@ -80,6 +98,8 @@ RoundBound theorem1_bound(std::size_t n, double eps) {
 
 RoundBound theorem2_bound(std::size_t n, double eps) {
   CLB_EXPECT(n >= 16, "theorem2_bound: n too small to instantiate");
+  static obs::Counter& calls = family_counter("lb.quadratic.bounds");
+  calls.add(1);
   const std::size_t t = quadratic_players_for_epsilon(eps);
   // n = 2t * (k + (ell+alpha) * p) -> k ~= n / (2t); strings have length k^2.
   const std::size_t k = std::max<std::size_t>(2, n / (2 * t));
@@ -93,6 +113,8 @@ RoundBound theorem2_bound(std::size_t n, double eps) {
 SplitApproximation split_solver_approximation(
     const graph::Graph& g, std::span<const std::vector<graph::NodeId>> parts) {
   CLB_EXPECT(!parts.empty(), "split solver: need at least one part");
+  static obs::Counter& calls = family_counter("lb.split_solver.calls");
+  calls.add(1);
   SplitApproximation result;
   graph::Weight best = -1;
   for (std::size_t i = 0; i < parts.size(); ++i) {

@@ -1,0 +1,55 @@
+// Exporters for the observability layer.
+//
+// Two output formats:
+//  - Chrome trace_event JSON (write_chrome_trace): open in chrome://tracing
+//    or https://ui.perfetto.dev. One lane (thread) per node plus a "rounds"
+//    lane; optionally one counter lane per cut edge showing the bits that
+//    crossed it each round — the per-round, per-edge quantity Lemmas 1-3
+//    and Theorem 5 reason about, directly inspectable on a timeline.
+//  - Flat metrics JSON (write_metrics_json / append_metrics): every
+//    counter, gauge, and histogram of a MetricsRegistry as one JSON object.
+//    Benches embed it in their BENCH_*.json artifacts via append_metrics.
+//
+// The trace clock is synthetic: round r spans [r, r+1) * ticks_per_round
+// microseconds, with fixed intra-round offsets (sends before deliveries),
+// so event ordering on the timeline mirrors the engine's phase order.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace congestlb {
+class JsonWriter;
+}
+
+namespace congestlb::obs {
+
+struct ChromeTraceOptions {
+  /// Synthetic trace-clock microseconds per simulated round.
+  std::uint64_t ticks_per_round = 1000;
+  /// Undirected edges to render as per-round bit counters, one lane each
+  /// (pass the construction's cut for the Theorem-5 view).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> cut_edges;
+};
+
+/// Serialize `events` (oldest first, e.g. Tracer::events()) as a Chrome
+/// trace_event JSON document.
+void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
+                        const ChromeTraceOptions& options = {});
+
+/// Emit the registry as one JSON object *value* through an existing writer
+/// (call jw.key("metrics") first to embed it in a larger document).
+void append_metrics(JsonWriter& jw, const MetricsRegistry& registry);
+
+/// Standalone flat metrics document:
+/// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);
+
+}  // namespace congestlb::obs

@@ -1,0 +1,96 @@
+#include "obs/metrics.hpp"
+
+#include "support/expect.hpp"
+
+namespace congestlb::obs {
+
+Histogram::Histogram(std::string name, std::vector<std::uint64_t> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  CLB_EXPECT(!bounds_.empty(), "Histogram: need at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    CLB_EXPECT(bounds_[i - 1] < bounds_[i],
+               "Histogram: bucket bounds must be strictly ascending");
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  for (const Cell& c : cells_) {
+    for (std::size_t i = 0; i < merged.size(); ++i) merged[i] += c.counts[i];
+  }
+  return merged;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.count;
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.sum;
+  return total;
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t num_shards)
+    : num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  CLB_EXPECT(!name.empty(), "MetricsRegistry: empty metric name");
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return *it->second;
+  auto owned = std::unique_ptr<Counter>(new Counter(std::string(name)));
+  owned->cells_.resize(num_shards_);
+  Counter& ref = *owned;
+  counters_.push_back(std::move(owned));
+  counter_index_.emplace(ref.name(), &ref);
+  return ref;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  CLB_EXPECT(!name.empty(), "MetricsRegistry: empty metric name");
+  const auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return *it->second;
+  auto owned = std::unique_ptr<Gauge>(new Gauge(std::string(name)));
+  Gauge& ref = *owned;
+  gauges_.push_back(std::move(owned));
+  gauge_index_.emplace(ref.name(), &ref);
+  return ref;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::uint64_t> upper_bounds) {
+  CLB_EXPECT(!name.empty(), "MetricsRegistry: empty metric name");
+  const auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) return *it->second;
+  auto owned = std::unique_ptr<Histogram>(
+      new Histogram(std::string(name), std::move(upper_bounds)));
+  owned->cells_.resize(num_shards_);
+  for (auto& cell : owned->cells_) {
+    cell.counts.assign(owned->bounds_.size() + 1, 0);
+  }
+  Histogram& ref = *owned;
+  histograms_.push_back(std::move(owned));
+  histogram_index_.emplace(ref.name(), &ref);
+  return ref;
+}
+
+void MetricsRegistry::ensure_shards(std::size_t n) {
+  if (n <= num_shards_) return;
+  num_shards_ = n;
+  for (auto& c : counters_) c->cells_.resize(n);
+  for (auto& h : histograms_) {
+    h->cells_.resize(n);
+    for (auto& cell : h->cells_) {
+      if (cell.counts.empty()) cell.counts.assign(h->bounds_.size() + 1, 0);
+    }
+  }
+}
+
+MetricsRegistry& default_registry() {
+  static MetricsRegistry registry(1);
+  return registry;
+}
+
+}  // namespace congestlb::obs

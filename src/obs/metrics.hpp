@@ -1,0 +1,167 @@
+// Metrics registry: named monotonic counters, gauges, and fixed-bucket
+// histograms for every layer of the library.
+//
+// Registration (MetricsRegistry::counter/gauge/histogram) is a serial-time
+// operation that may allocate; updates (Counter::add, Histogram::observe,
+// Gauge::set) are the hot-path operations and never allocate. Counters and
+// histograms are sharded: each holds one cache-line-padded cell per engine
+// shard, a worker thread writes only its own shard's cell (lock-free by
+// construction — disjoint memory, no atomics needed), and reads merge the
+// cells in shard index order. Because every merged quantity is an integer
+// sum, the merged value is independent of the shard partition — the same
+// argument that makes RunStats bit-identical across thread counts extends
+// to every metric (engine_determinism_test / obs_property_test).
+//
+// Naming convention: dot-separated lowercase paths, "layer.thing[.detail]"
+// — e.g. "engine.bits_delivered", "blackboard.player0.bits",
+// "lb.linear.bounds". docs/OBSERVABILITY.md lists every name the library
+// emits.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace congestlb::obs {
+
+/// Monotonic counter with per-shard cells. add() from shard s touches only
+/// cell s; value() sums cells in shard order.
+class Counter {
+ public:
+  const std::string& name() const { return name_; }
+
+  void add(std::uint64_t v, std::size_t shard = 0) { cells_[shard].v += v; }
+  void inc(std::size_t shard = 0) { add(1, shard); }
+
+  /// Merged total (shard-order sum).
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v;
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::uint64_t v = 0;
+  };
+
+  explicit Counter(std::string name) : name_(std::move(name)), cells_(1) {}
+
+  std::string name_;
+  std::vector<Cell> cells_;
+};
+
+/// Last-write-wins signed gauge. Serial contexts only (the engine sets
+/// gauges between rounds, never from worker threads).
+class Gauge {
+ public:
+  const std::string& name() const { return name_; }
+
+  void set(std::int64_t v) { value_ = v; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram with per-shard cells. Bucket i counts samples
+/// <= upper_bounds[i] (ascending); one implicit overflow bucket catches the
+/// rest. observe() is a linear scan over the (few) bounds plus three
+/// increments — allocation-free.
+class Histogram {
+ public:
+  const std::string& name() const { return name_; }
+  const std::vector<std::uint64_t>& upper_bounds() const { return bounds_; }
+
+  void observe(std::uint64_t v, std::size_t shard = 0) {
+    Cell& c = cells_[shard];
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    c.counts[i] += 1;
+    c.count += 1;
+    c.sum += v;
+  }
+
+  /// Merged per-bucket counts (size = upper_bounds().size() + 1; the last
+  /// entry is the overflow bucket), summed in shard order.
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+
+ private:
+  friend class MetricsRegistry;
+  struct alignas(64) Cell {
+    std::vector<std::uint64_t> counts;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+  };
+
+  Histogram(std::string name, std::vector<std::uint64_t> bounds);
+
+  std::string name_;
+  std::vector<std::uint64_t> bounds_;
+  std::vector<Cell> cells_;
+};
+
+/// Owns metrics by name; hands out stable references. Instruments cache the
+/// reference at setup time and update through it on the hot path.
+class MetricsRegistry {
+ public:
+  /// num_shards sizes the per-shard cells of every instrument; grow later
+  /// with ensure_shards (the engine calls it when it binds the registry).
+  explicit MetricsRegistry(std::size_t num_shards = 1);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  /// Serial contexts only (setup, not hot paths).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// upper_bounds must be ascending and non-empty. Re-requesting an
+  /// existing histogram returns it unchanged (bounds are fixed at birth).
+  Histogram& histogram(std::string_view name,
+                       std::vector<std::uint64_t> upper_bounds);
+
+  /// Grow every instrument to at least n shard cells. Serial contexts only
+  /// — must not race with hot-path updates.
+  void ensure_shards(std::size_t n);
+  std::size_t num_shards() const { return num_shards_; }
+
+  // Registration-ordered views for exporters.
+  const std::vector<std::unique_ptr<Counter>>& counters() const {
+    return counters_;
+  }
+  const std::vector<std::unique_ptr<Gauge>>& gauges() const {
+    return gauges_;
+  }
+  const std::vector<std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::size_t num_shards_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::unordered_map<std::string, Counter*> counter_index_;
+  std::unordered_map<std::string, Gauge*> gauge_index_;
+  std::unordered_map<std::string, Histogram*> histogram_index_;
+};
+
+/// The process-wide registry library internals report to when no explicit
+/// registry is injected (e.g. the per-gadget-family counters in
+/// lowerbound/framework.cpp). Single-sharded; serial call sites only.
+MetricsRegistry& default_registry();
+
+}  // namespace congestlb::obs

@@ -1,0 +1,108 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "support/expect.hpp"
+
+namespace congestlb::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRoundBegin: return "round_begin";
+    case EventKind::kRoundEnd: return "round_end";
+    case EventKind::kSend: return "send";
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kDeliverCorrupt: return "deliver_corrupt";
+    case EventKind::kDeliverEcho: return "deliver_echo";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRecover: return "recover";
+    case EventKind::kCrashScheduled: return "crash_scheduled";
+    case EventKind::kRecoverScheduled: return "recover_scheduled";
+    case EventKind::kPhase: return "phase";
+    case EventKind::kBlackboardPost: return "blackboard_post";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(TraceConfig config) : config_(config) {
+  CLB_EXPECT(config_.sample_period >= 1,
+             "TraceConfig: sample_period must be >= 1");
+  if (enabled()) ring_.resize(config_.capacity);
+}
+
+void Tracer::bind(std::size_t num_shards, std::size_t per_shard_capacity) {
+  if (!enabled()) return;
+  CLB_EXPECT(num_shards >= 1, "Tracer::bind: need at least one shard");
+  num_shards_ = num_shards;
+  stage_.assign(2 * num_shards, Stage{});
+  for (Stage& st : stage_) st.buf.resize(per_shard_capacity);
+}
+
+void Tracer::push(const TraceEvent& ev) {
+  if (!enabled()) return;
+  const std::size_t cap = ring_.size();
+  if (count_ < cap) {
+    ring_[(head_ + count_) % cap] = ev;
+    ++count_;
+  } else {
+    ring_[head_] = ev;  // overwrite the oldest
+    head_ = (head_ + 1) % cap;
+    ++dropped_;
+  }
+  ++recorded_;
+}
+
+void Tracer::seal_round() {
+  if (!enabled()) return;
+  for (std::size_t phase = 0; phase < 2; ++phase) {
+    for (std::size_t shard = 0; shard < num_shards_; ++shard) {
+      Stage& st = stage_[phase * num_shards_ + shard];
+      for (std::size_t i = 0; i < st.len; ++i) push(st.buf[i]);
+      dropped_ += st.overflow;
+      st.len = 0;
+      st.overflow = 0;
+    }
+  }
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(count_);
+  const std::size_t cap = ring_.size();
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(ring_[(head_ + i) % cap]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  head_ = 0;
+  count_ = 0;
+  recorded_ = 0;
+  dropped_ = 0;
+  for (Stage& st : stage_) {
+    st.len = 0;
+    st.overflow = 0;
+  }
+}
+
+void write_canonical(std::ostream& os, std::span<const TraceEvent> events) {
+  for (const TraceEvent& ev : events) {
+    os << ev.round << ' ' << to_string(ev.kind) << ' ';
+    if (ev.a == TraceEvent::kNone) {
+      os << '-';
+    } else {
+      os << ev.a;
+    }
+    os << ' ';
+    if (ev.b == TraceEvent::kNone) {
+      os << '-';
+    } else {
+      os << ev.b;
+    }
+    os << ' ' << ev.value << '\n';
+  }
+}
+
+}  // namespace congestlb::obs

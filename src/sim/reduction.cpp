@@ -1,10 +1,24 @@
 #include "sim/reduction.hpp"
 
+#include "obs/trace.hpp"
 #include "support/expect.hpp"
 
 namespace congestlb::sim {
 
 namespace {
+
+// Driver phase ids carried by kPhase marks (value field); see
+// docs/OBSERVABILITY.md.
+constexpr std::uint64_t kPhaseSimulate = 1;  ///< network rounds running
+constexpr std::uint64_t kPhaseDecide = 2;    ///< gap predicate evaluated
+
+void phase_mark(obs::Tracer* tracer, std::uint64_t phase,
+                std::uint32_t round) {
+  if (tracer != nullptr && tracer->enabled()) {
+    tracer->emit({phase, round, obs::TraceEvent::kNone, obs::TraceEvent::kNone,
+                  obs::EventKind::kPhase});
+  }
+}
 
 /// Shared implementation: `owner(v)` maps nodes to players, the thresholds
 /// come from the construction's gap predicate.
@@ -49,8 +63,16 @@ ReductionReport run_reduction(
     rep.cut_bits_per_round[round] += msg.bits;
   };
 
+  // Mirror cut charges into the trace/metrics the caller configured on the
+  // network, so a single trace shows rounds, deliveries, and board posts on
+  // one timeline.
+  board.attach_observability(cfg.tracer, cfg.metrics);
+
   congest::Network net(gx, factory, cfg);
+  phase_mark(cfg.tracer, kPhaseSimulate, 0);
   const congest::RunStats stats = net.run();
+  phase_mark(cfg.tracer, kPhaseDecide,
+             static_cast<std::uint32_t>(stats.rounds));
 
   rep.rounds = stats.rounds;
   rep.bits_per_edge = net.bits_per_edge();

@@ -13,6 +13,8 @@
 #include "congest/message.hpp"
 #include "congest/network.hpp"
 #include "graph/generators.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/alloc_hook.hpp"
 #include "support/rng.hpp"
 
@@ -96,6 +98,70 @@ TEST(EngineAlloc, SteadyStateRoundsAllocateNothingUnderFaults) {
   EXPECT_EQ(after - before, 0u)
       << "faulted hot path allocated " << (after - before)
       << " times over 100 steady-state rounds";
+}
+
+TEST(EngineAlloc, DisabledTracerAndMetricsCostNothing) {
+  // A zero-capacity tracer attached to the config must leave the hot path
+  // untouched — the runtime kill switch, as opposed to CONGESTLB_TRACE=0.
+  // Metrics updates go through preallocated per-shard cells, so they are
+  // allocation-free even while live.
+  Rng rng(2024);
+  const auto g = graph::gnp_random_connected(rng, 128, 0.05);
+  obs::Tracer tracer({.capacity = 0});
+  obs::MetricsRegistry metrics;
+  NetworkConfig cfg;
+  cfg.bits_per_edge = 16;
+  cfg.max_rounds = 1'000'000;
+  cfg.tracer = &tracer;
+  cfg.metrics = &metrics;
+  Network net(g, [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<SteadyFlood>();
+  }, cfg);
+
+  net.run_rounds(8);
+
+  const auto before = allochook::allocation_count();
+  net.run_rounds(100);
+  const auto after = allochook::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "disabled-tracer hot path allocated " << (after - before)
+      << " times over 100 steady-state rounds";
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_GT(metrics.counter("engine.rounds").value(), 0u);
+}
+
+TEST(EngineAlloc, EnabledTracingStaysAllocationFree) {
+  // The cost contract of obs/trace.hpp: with tracing LIVE (every round
+  // sampled, sends recorded, ring wrapping) and metrics live, steady-state
+  // rounds still allocate nothing — staging buffers and the ring were sized
+  // once at bind time, and overwrite-oldest handles the overflow.
+  if (!obs::trace_compiled_in()) GTEST_SKIP() << "CONGESTLB_TRACE=0";
+  Rng rng(4048);
+  const auto g = graph::gnp_random_connected(rng, 128, 0.05);
+  obs::Tracer tracer({.capacity = std::size_t{1} << 14});
+  obs::MetricsRegistry metrics;
+  NetworkConfig cfg;
+  cfg.bits_per_edge = 16;
+  cfg.max_rounds = 1'000'000;
+  cfg.tracer = &tracer;
+  cfg.metrics = &metrics;
+  cfg.faults.drop_rate = 0.1;
+  cfg.faults.duplicate_rate = 0.1;
+  Network net(g, [](graph::NodeId, const NodeInfo&) {
+    return std::make_unique<SteadyFlood>();
+  }, cfg);
+
+  net.run_rounds(8);
+
+  const auto before = allochook::allocation_count();
+  net.run_rounds(100);
+  const auto after = allochook::allocation_count();
+  EXPECT_EQ(after - before, 0u)
+      << "traced hot path allocated " << (after - before)
+      << " times over 100 steady-state rounds";
+  EXPECT_GT(tracer.recorded(), 0u);
+  EXPECT_GT(tracer.dropped(), 0u) << "ring should have wrapped in this run";
+  EXPECT_EQ(metrics.counter("engine.rounds").value(), 108u);
 }
 
 }  // namespace

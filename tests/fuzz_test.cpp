@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <deque>
 #include <sstream>
+#include <string>
 
 #include "comm/blackboard.hpp"
 #include "congest/message.hpp"
@@ -13,6 +16,9 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "maxis/bitset.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/rng.hpp"
 
 namespace congestlb {
@@ -246,6 +252,272 @@ TEST_P(FuzzSweep, FaultSchedulesKeepBitAccountingExact) {
     ASSERT_EQ(again.messages_duplicated, stats.messages_duplicated);
     ASSERT_EQ(again.nodes_crashed, stats.nodes_crashed);
     ASSERT_EQ(replay.outputs(), net.outputs());
+  }
+}
+
+// ---------------------------------------------------------- observability --
+
+/// Minimal recursive-descent JSON validator: accepts iff the input is one
+/// well-formed JSON value. Independent of the exporter's writer, so it
+/// catches escaping and structure bugs rather than mirroring them.
+class JsonValidator {
+ public:
+  explicit JsonValidator(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const unsigned char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control characters are invalid
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    for (const char* p = lit; *p; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+obs::TraceEvent random_event(Rng& rng) {
+  obs::TraceEvent ev;
+  ev.kind = static_cast<obs::EventKind>(
+      rng.below(1 + static_cast<std::uint64_t>(
+                        obs::EventKind::kBlackboardPost)));
+  ev.round = static_cast<std::uint32_t>(rng.below(1000));
+  ev.a = rng.chance(0.1) ? obs::TraceEvent::kNone
+                         : static_cast<std::uint32_t>(rng.below(64));
+  ev.b = rng.chance(0.3) ? obs::TraceEvent::kNone
+                         : static_cast<std::uint32_t>(rng.below(64));
+  ev.value = rng.below(1ULL << 40);
+  return ev;
+}
+
+TEST_P(FuzzSweep, TracerRingMatchesDequeReference) {
+  // The ring + staging discipline against an obvious model: a deque that
+  // drops from the front past capacity, and per-(phase, shard) stage lists
+  // that drain phase-major, shard-ascending on seal.
+  if (!obs::trace_compiled_in()) GTEST_SKIP() << "CONGESTLB_TRACE=0";
+  Rng rng(GetParam() + 600);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t capacity = 1 + rng.below(32);
+    const std::size_t shards = 1 + rng.below(4);
+    const std::size_t stage_cap = 1 + rng.below(6);
+    obs::Tracer tracer({.capacity = capacity});
+    tracer.bind(shards, stage_cap);
+
+    std::deque<obs::TraceEvent> model;
+    std::uint64_t model_recorded = 0, model_dropped = 0;
+    std::vector<std::vector<obs::TraceEvent>> stage(2 * shards);
+    auto model_push = [&](const obs::TraceEvent& ev) {
+      ++model_recorded;
+      model.push_back(ev);
+      if (model.size() > capacity) {
+        model.pop_front();
+        ++model_dropped;
+      }
+    };
+
+    for (int op = 0; op < 200; ++op) {
+      const obs::TraceEvent ev = random_event(rng);
+      const double dice = rng.uniform();
+      if (dice < 0.4) {
+        tracer.emit(ev);
+        model_push(ev);
+      } else if (dice < 0.9) {
+        const std::size_t phase = rng.below(2);
+        const std::size_t shard = rng.below(shards);
+        tracer.emit_shard(phase, shard, ev);
+        auto& st = stage[phase * shards + shard];
+        if (st.size() < stage_cap) {
+          st.push_back(ev);
+        } else {
+          ++model_dropped;
+        }
+      } else {
+        tracer.seal_round();
+        for (auto& st : stage) {
+          for (const auto& staged : st) model_push(staged);
+          st.clear();
+        }
+      }
+    }
+    tracer.seal_round();
+    for (auto& st : stage) {
+      for (const auto& staged : st) model_push(staged);
+      st.clear();
+    }
+
+    ASSERT_EQ(tracer.recorded(), model_recorded) << "trial " << trial;
+    ASSERT_EQ(tracer.dropped(), model_dropped) << "trial " << trial;
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), model.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      ASSERT_EQ(events[i], model[i]) << "trial " << trial << " event " << i;
+    }
+  }
+}
+
+TEST_P(FuzzSweep, ChromeTraceExportIsAlwaysValidJson) {
+  // Arbitrary event soup — including kinds in positions the engine never
+  // produces (truncated rings cut streams mid-round) — must still export
+  // as well-formed JSON.
+  Rng rng(GetParam() + 700);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<obs::TraceEvent> events;
+    const std::size_t count = rng.below(120);
+    for (std::size_t i = 0; i < count; ++i) {
+      events.push_back(random_event(rng));
+    }
+    obs::ChromeTraceOptions opt;
+    opt.ticks_per_round = 1 + rng.below(2000);
+    const std::size_t cuts = rng.below(4);
+    for (std::size_t i = 0; i < cuts; ++i) {
+      opt.cut_edges.emplace_back(static_cast<std::uint32_t>(rng.below(64)),
+                                 static_cast<std::uint32_t>(rng.below(64)));
+    }
+    std::ostringstream os;
+    obs::write_chrome_trace(os, events, opt);
+    const std::string json = os.str();
+    ASSERT_TRUE(JsonValidator(json).valid())
+        << "trial " << trial << " produced invalid JSON (" << json.size()
+        << " bytes)";
+  }
+}
+
+TEST_P(FuzzSweep, MetricsExportEscapesHostileNames) {
+  // Metric names with quotes, backslashes, and control characters must be
+  // escaped, never emitted raw.
+  Rng rng(GetParam() + 800);
+  obs::MetricsRegistry reg(2);
+  const std::string hostile_chars = "\"\\\n\t\x01{}[],:";
+  for (int i = 0; i < 12; ++i) {
+    std::string name = "m" + std::to_string(i) + ".";
+    const std::size_t len = 1 + rng.below(8);
+    for (std::size_t j = 0; j < len; ++j) {
+      name += hostile_chars[rng.below(hostile_chars.size())];
+    }
+    reg.counter(name).add(rng.below(1000), rng.below(2));
+    if (rng.chance(0.5)) reg.gauge(name + "/g").set(-5);
+    if (rng.chance(0.5)) {
+      reg.histogram(name + "/h", {4, 16}).observe(rng.below(40));
+    }
+  }
+  std::ostringstream os;
+  obs::write_metrics_json(os, reg);
+  ASSERT_TRUE(JsonValidator(os.str()).valid())
+      << "metrics JSON invalid: " << os.str();
+}
+
+TEST_P(FuzzSweep, SamplingBoundariesMatchModuloModel) {
+  Rng rng(GetParam() + 900);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t period = 1 + rng.below(16);
+    obs::Tracer t({.capacity = 8, .sample_period = period});
+    for (int probe = 0; probe < 40; ++probe) {
+      const std::size_t round = rng.below(1ULL << 30);
+      const bool expect =
+          obs::trace_compiled_in() && round % period == 0;
+      ASSERT_EQ(t.sampled(round), expect)
+          << "period " << period << " round " << round;
+    }
   }
 }
 

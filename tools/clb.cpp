@@ -4,14 +4,22 @@
 //   clb gap <t> [ell] [alpha] [k]   gap predicate of the linear family
 //   clb solve <graph-file>          exact MaxIS + min VC of an edge-list file
 //   clb simulate <t> <seed> <yes|no> run the Theorem-5 reduction once
+//   clb trace <t> <seed> <yes|no> [chrome.json] [canonical.txt]
+//                                   run the reduction traced; write a Chrome
+//                                   trace_event file (chrome://tracing or
+//                                   ui.perfetto.dev)
 //   clb protocols <k> <t>           disjointness protocol costs vs CKS bound
 //
 // Graph files use the graph/io.hpp edge-list format:
 //   n <nodes> / w <id> <weight> / e <u> <v>
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "comm/lower_bound.hpp"
@@ -22,6 +30,9 @@
 #include "lowerbound/structured_solver.hpp"
 #include "maxis/branch_and_bound.hpp"
 #include "maxis/vertex_cover.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/reduction.hpp"
 #include "support/table.hpp"
 
@@ -35,27 +46,73 @@ int usage() {
                "  clb gap <t> [ell] [alpha] [k]\n"
                "  clb solve <graph-file>\n"
                "  clb simulate <t> <seed> <yes|no>\n"
+               "  clb trace <t> <seed> <yes|no> [chrome.json] [canonical.txt]\n"
                "  clb protocols <k> <t>\n";
   return 2;
 }
 
+// Strict numeric parsing. Bare strtoull/strtod silently accept exactly the
+// inputs a CLI must reject: "7abc" (stops at the first bad char), "-3"
+// (wraps to a huge unsigned), "1e999" and 2^64 (clamp via ERANGE), "" and
+// " 7" (empty / leading space). The whole argument must be one in-range
+// number or the command prints usage and exits 2.
+
+std::optional<std::uint64_t> parse_u64(const char* s) {
+  if (s == nullptr || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno == ERANGE || *end != '\0') return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(const char* s) {
+  if (s == nullptr || s[0] == '\0' ||
+      std::isspace(static_cast<unsigned char>(s[0]))) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (errno == ERANGE || end == s || *end != '\0' || !std::isfinite(v)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<bool> parse_yes_no(const char* s) {
+  const std::string v(s);
+  if (v == "yes") return true;
+  if (v == "no") return false;
+  return std::nullopt;
+}
+
+int bad_arg(const char* what, const char* got) {
+  std::cerr << "invalid " << what << ": '" << got << "'\n";
+  return usage();
+}
+
 int cmd_bounds(int argc, char** argv) {
   if (argc < 2) return usage();
-  const double eps = std::strtod(argv[0], nullptr);
-  const std::size_t n = std::strtoull(argv[1], nullptr, 10);
+  const auto eps = parse_double(argv[0]);
+  if (!eps) return bad_arg("eps", argv[0]);
+  const auto n = parse_u64(argv[1]);
+  if (!n) return bad_arg("n", argv[1]);
   clb::Table t({"theorem", "approximation", "players t", "CC bits", "cut",
                 "rounds >="});
-  if (eps > 0 && eps < 0.5) {
-    const auto rb = clb::lb::theorem1_bound(n, eps);
-    t.row("1", "1/2 + " + clb::fmt_double(eps, 3),
-          clb::lb::linear_players_for_epsilon(eps),
+  if (*eps > 0 && *eps < 0.5) {
+    const auto rb = clb::lb::theorem1_bound(*n, *eps);
+    t.row("1", "1/2 + " + clb::fmt_double(*eps, 3),
+          clb::lb::linear_players_for_epsilon(*eps),
           clb::fmt_double(rb.cc_bits, 0), rb.cut_edges,
           clb::fmt_double(rb.rounds, 6));
   }
-  if (eps > 0 && eps < 0.25) {
-    const auto rb = clb::lb::theorem2_bound(n, eps);
-    t.row("2", "3/4 + " + clb::fmt_double(eps, 3),
-          clb::lb::quadratic_players_for_epsilon(eps),
+  if (*eps > 0 && *eps < 0.25) {
+    const auto rb = clb::lb::theorem2_bound(*n, *eps);
+    t.row("2", "3/4 + " + clb::fmt_double(*eps, 3),
+          clb::lb::quadratic_players_for_epsilon(*eps),
           clb::fmt_double(rb.cc_bits, 0), rb.cut_edges,
           clb::fmt_double(rb.rounds, 3));
   }
@@ -70,19 +127,28 @@ int cmd_bounds(int argc, char** argv) {
 
 int cmd_gap(int argc, char** argv) {
   if (argc < 1) return usage();
-  const std::size_t t = std::strtoull(argv[0], nullptr, 10);
+  const auto t = parse_u64(argv[0]);
+  if (!t) return bad_arg("players t", argv[0]);
+  std::optional<std::uint64_t> ell, alpha, k;
+  if (argc >= 3) {
+    ell = parse_u64(argv[1]);
+    if (!ell) return bad_arg("ell", argv[1]);
+    alpha = parse_u64(argv[2]);
+    if (!alpha) return bad_arg("alpha", argv[2]);
+    if (argc >= 4) {
+      k = parse_u64(argv[3]);
+      if (!k) return bad_arg("k", argv[3]);
+    }
+  }
   clb::lb::GadgetParams p =
-      argc >= 3
+      ell.has_value()
           ? clb::lb::GadgetParams::from_l_alpha(
-                std::strtoull(argv[1], nullptr, 10),
-                std::strtoull(argv[2], nullptr, 10),
-                argc >= 4 ? std::optional<std::size_t>(
-                                std::strtoull(argv[3], nullptr, 10))
-                          : std::nullopt)
-          : clb::lb::GadgetParams::for_linear_separation(t);
-  const clb::lb::LinearConstruction c(p, t);
+                *ell, *alpha,
+                k.has_value() ? std::optional<std::size_t>(*k) : std::nullopt)
+          : clb::lb::GadgetParams::for_linear_separation(*t);
+  const clb::lb::LinearConstruction c(p, *t);
   clb::Table tbl({"field", "value"});
-  tbl.row("players t", t);
+  tbl.row("players t", *t);
   tbl.row("ell / alpha / k", std::to_string(p.ell) + " / " +
                                  std::to_string(p.alpha) + " / " +
                                  std::to_string(p.k));
@@ -118,28 +184,41 @@ int cmd_solve(int argc, char** argv) {
   return 0;
 }
 
-int cmd_simulate(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::size_t t = std::strtoull(argv[0], nullptr, 10);
-  const std::uint64_t seed = std::strtoull(argv[1], nullptr, 10);
-  const bool want_yes = std::string(argv[2]) == "yes";
-  const auto p = clb::lb::GadgetParams::for_linear_separation(t, 1);
-  const clb::lb::LinearConstruction c(p, t);
+/// Shared Theorem-5 run for `simulate` and `trace`: instantiate the linear
+/// construction for t players, draw the yes/no instance from `seed`, and run
+/// the exact universal algorithm over the blackboard.
+clb::sim::ReductionReport run_theorem5(std::size_t t, std::uint64_t seed,
+                                       bool want_yes, clb::comm::Blackboard& board,
+                                       const clb::lb::LinearConstruction& c,
+                                       const clb::lb::GadgetParams& p,
+                                       clb::congest::NetworkConfig cfg) {
   clb::Rng rng(seed);
   const auto inst =
       want_yes ? clb::comm::make_uniquely_intersecting(p.k, t, rng)
                : clb::comm::make_pairwise_disjoint(p.k, t, rng);
-  clb::comm::Blackboard board(t);
-  clb::congest::NetworkConfig cfg;
   cfg.bits_per_edge = clb::congest::universal_required_bits(
       c.num_nodes(), static_cast<clb::graph::Weight>(p.ell));
   cfg.max_rounds = 500'000;
-  const auto rep = clb::sim::run_linear_reduction(
+  return clb::sim::run_linear_reduction(
       c, inst,
       clb::congest::universal_maxis_factory([](const clb::graph::Graph& g) {
         return clb::maxis::solve_exact(g).nodes;
       }),
       board, cfg);
+}
+
+int cmd_simulate(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto t = parse_u64(argv[0]);
+  if (!t) return bad_arg("players t", argv[0]);
+  const auto seed = parse_u64(argv[1]);
+  if (!seed) return bad_arg("seed", argv[1]);
+  const auto want_yes = parse_yes_no(argv[2]);
+  if (!want_yes) return bad_arg("branch (yes|no)", argv[2]);
+  const auto p = clb::lb::GadgetParams::for_linear_separation(*t, 1);
+  const clb::lb::LinearConstruction c(p, *t);
+  clb::comm::Blackboard board(*t);
+  const auto rep = run_theorem5(*t, *seed, *want_yes, board, c, p, {});
   clb::Table tbl({"field", "value"});
   tbl.row("n / t / cut", std::to_string(rep.n) + " / " + std::to_string(rep.t) +
                              " / " + std::to_string(rep.cut_edges));
@@ -157,10 +236,74 @@ int cmd_simulate(int argc, char** argv) {
   return rep.correct ? 0 : 1;
 }
 
+int cmd_trace(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto t = parse_u64(argv[0]);
+  if (!t) return bad_arg("players t", argv[0]);
+  const auto seed = parse_u64(argv[1]);
+  if (!seed) return bad_arg("seed", argv[1]);
+  const auto want_yes = parse_yes_no(argv[2]);
+  if (!want_yes) return bad_arg("branch (yes|no)", argv[2]);
+  const char* chrome_path = argc >= 4 ? argv[3] : "clb_trace.json";
+  const char* canonical_path = argc >= 5 ? argv[4] : nullptr;
+  if (!clb::obs::trace_compiled_in()) {
+    std::cerr << "clb trace: the tracer is compiled out "
+                 "(built with -DCONGESTLB_TRACE=OFF)\n";
+    return 1;
+  }
+
+  const auto p = clb::lb::GadgetParams::for_linear_separation(*t, 1);
+  const clb::lb::LinearConstruction c(p, *t);
+  clb::comm::Blackboard board(*t);
+  clb::obs::Tracer tracer({.capacity = std::size_t{1} << 20});
+  clb::obs::MetricsRegistry metrics;
+  clb::congest::NetworkConfig cfg;
+  cfg.tracer = &tracer;
+  cfg.metrics = &metrics;
+  const auto rep = run_theorem5(*t, *seed, *want_yes, board, c, p, cfg);
+
+  clb::obs::ChromeTraceOptions opt;
+  for (const auto& [u, v] : c.cut_edges()) {
+    opt.cut_edges.emplace_back(static_cast<std::uint32_t>(u),
+                               static_cast<std::uint32_t>(v));
+  }
+  const auto events = tracer.events();
+  std::ofstream chrome(chrome_path);
+  if (!chrome) {
+    std::cerr << "cannot write " << chrome_path << "\n";
+    return 1;
+  }
+  clb::obs::write_chrome_trace(chrome, events, opt);
+  if (canonical_path != nullptr) {
+    std::ofstream canon(canonical_path);
+    if (!canon) {
+      std::cerr << "cannot write " << canonical_path << "\n";
+      return 1;
+    }
+    clb::obs::write_canonical(canon, events);
+  }
+
+  clb::Table tbl({"field", "value"});
+  tbl.row("n / t / cut", std::to_string(rep.n) + " / " + std::to_string(rep.t) +
+                             " / " + std::to_string(rep.cut_edges));
+  tbl.row("rounds", rep.rounds);
+  tbl.row("events recorded", tracer.recorded());
+  tbl.row("events dropped", tracer.dropped());
+  tbl.row("blackboard bits", rep.blackboard_bits);
+  tbl.row("cut accounting exact", rep.cut_accounting_exact);
+  tbl.row("chrome trace", chrome_path);
+  if (canonical_path != nullptr) tbl.row("canonical trace", canonical_path);
+  tbl.row("correct", rep.correct);
+  tbl.print(std::cout);
+  return rep.correct ? 0 : 1;
+}
+
 int cmd_protocols(int argc, char** argv) {
   if (argc < 2) return usage();
-  const std::size_t k = std::strtoull(argv[0], nullptr, 10);
-  const std::size_t t = std::strtoull(argv[1], nullptr, 10);
+  const auto k = parse_u64(argv[0]);
+  if (!k) return bad_arg("k", argv[0]);
+  const auto t = parse_u64(argv[1]);
+  if (!t) return bad_arg("players t", argv[1]);
   clb::Rng rng(1);
   clb::Table tbl({"protocol", "bits (worst of both branches)", "answer ok"});
   for (const auto& proto : clb::comm::all_reference_protocols()) {
@@ -169,16 +312,16 @@ int cmd_protocols(int argc, char** argv) {
     for (bool intersecting : {true, false}) {
       const auto inst =
           intersecting
-              ? clb::comm::make_uniquely_intersecting(k, t, rng, 0.3)
-              : clb::comm::make_pairwise_disjoint(k, t, rng, 0.3);
-      clb::comm::Blackboard b(t);
+              ? clb::comm::make_uniquely_intersecting(*k, *t, rng, 0.3)
+              : clb::comm::make_pairwise_disjoint(*k, *t, rng, 0.3);
+      clb::comm::Blackboard b(*t);
       ok = ok && proto->run(inst, b) == !intersecting;
       cost = std::max(cost, b.total_bits());
     }
     tbl.row(proto->name(), cost, ok);
   }
   tbl.row("CKS lower bound",
-          clb::fmt_double(clb::comm::cks_lower_bound_bits(k, t), 1), "-");
+          clb::fmt_double(clb::comm::cks_lower_bound_bits(*k, *t), 1), "-");
   tbl.print(std::cout);
   return 0;
 }
@@ -193,6 +336,7 @@ int main(int argc, char** argv) {
     if (cmd == "gap") return cmd_gap(argc - 2, argv + 2);
     if (cmd == "solve") return cmd_solve(argc - 2, argv + 2);
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
+    if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "protocols") return cmd_protocols(argc - 2, argv + 2);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
