@@ -9,12 +9,20 @@
 //
 // Expected shape (matches the paper): YES OPT == t(2l+a) exactly; NO OPT
 // <= the claim bound; ratio -> 1/2 as t grows with ell >> alpha*t.
+//
+// C12/C35 are the claim portion of the built-in paper campaign
+// (campaign/manifest.hpp) run through the campaign scheduler — identical
+// jobs, per-job seeds and verdicts to `clb campaign run paper`. The L2
+// tables are formula-side views with no claim verdicts, so they stay local
+// to this binary.
 
+#include <algorithm>
 #include <iostream>
 
-#include "comm/instances.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/report.hpp"
 #include "lowerbound/linear_family.hpp"
-#include "maxis/branch_and_bound.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -23,26 +31,15 @@ using clb::Table;
 
 namespace {
 
-struct GapRow {
-  clb::graph::Weight yes_opt = 0;
-  clb::graph::Weight no_opt = 0;
-};
-
-GapRow measure(const clb::lb::LinearConstruction& c, clb::Rng& rng,
-               int trials) {
-  GapRow row;
-  const auto& p = c.params();
-  for (int trial = 0; trial < trials; ++trial) {
-    const auto yes =
-        clb::comm::make_uniquely_intersecting(p.k, c.num_players(), rng, 0.3);
-    row.yes_opt = std::max(
-        row.yes_opt, clb::maxis::solve_exact(c.instantiate(yes)).weight);
-    const auto no =
-        clb::comm::make_pairwise_disjoint(p.k, c.num_players(), rng, 0.4);
-    row.no_opt = std::max(
-        row.no_opt, clb::maxis::solve_exact(c.instantiate(no)).weight);
-  }
-  return row;
+/// The NO/YES ratio at a buildable size, measured exactly like a campaign
+/// claim point (max OPT over `trials` draws per branch).
+double measured_ratio(const clb::lb::LinearConstruction& c, clb::Rng& rng,
+                      int trials) {
+  namespace cmp = clb::campaign;
+  const std::uint64_t seed = rng.next();
+  const auto yes = cmp::solve_branch(c, true, trials, seed);
+  const auto no = cmp::solve_branch(c, false, trials, seed);
+  return static_cast<double>(no) / static_cast<double>(yes);
 }
 
 }  // namespace
@@ -51,53 +48,21 @@ int main() {
   std::cout << "=== bench_gap_linear: Claims 1-3, 5 and Lemma 2 ===\n";
   clb::Rng rng(2020);
 
-  clb::print_heading(std::cout,
-                     "C12 — two players (Claims 1-2): YES >= 4l+2a, NO <= 3l+2a+1");
   {
-    Table t({"ell", "alpha", "k", "n", "YES OPT", "claim YES>=", "NO OPT",
-             "claim NO<=", "holds"});
-    for (auto [ell, alpha, k] :
-         {std::tuple<std::size_t, std::size_t, std::size_t>{2, 1, 3},
-          {3, 1, 4},
-          {4, 1, 5},
-          {6, 1, 7},
-          {4, 2, 16},
-          {8, 1, 9}}) {
-      const auto p = clb::lb::GadgetParams::from_l_alpha(ell, alpha, k);
-      const clb::lb::LinearConstruction c(p, 2);
-      const auto row = measure(c, rng, 3);
-      const bool holds =
-          row.yes_opt >= c.yes_weight() && row.no_opt <= c.no_bound();
-      t.row(ell, alpha, k, c.num_nodes(), row.yes_opt, c.yes_weight(),
-            row.no_opt, c.no_bound(), holds);
+    clb::campaign::CampaignSpec spec =
+        clb::campaign::builtin_paper_campaign();
+    std::erase_if(spec.sweeps, [](const clb::campaign::SweepSpec& s) {
+      return s.check != clb::campaign::CheckKind::kClaim12 &&
+             s.check != clb::campaign::CheckKind::kClaim35;
+    });
+    clb::campaign::RunOptions opts;
+    opts.threads = 2;
+    const auto result = clb::campaign::run_campaign(spec, opts);
+    clb::campaign::print_campaign_tables(std::cout, spec, result);
+    if (!result.all_hold) {
+      std::cout << "\nCLAIM VIOLATION — see tables above.\n";
+      return 1;
     }
-    t.print(std::cout);
-  }
-
-  clb::print_heading(
-      std::cout,
-      "C35 — t players (Claims 3+5): YES >= t(2l+a), NO <= (t+1)l+at^2");
-  {
-    Table t({"t", "ell", "alpha", "k", "n", "YES OPT", "claim YES>=", "NO OPT",
-             "claim NO<=", "separated", "holds"});
-    for (auto [t_players, ell, alpha, k] :
-         {std::tuple<std::size_t, std::size_t, std::size_t, std::size_t>{
-              3, 5, 1, 6},
-          {3, 4, 1, 5},
-          {4, 6, 1, 7},
-          {4, 8, 1, 9},
-          {5, 8, 1, 9},
-          {3, 5, 2, 20},
-          {6, 10, 1, 11}}) {
-      const auto p = clb::lb::GadgetParams::from_l_alpha(ell, alpha, k);
-      const clb::lb::LinearConstruction c(p, t_players);
-      const auto row = measure(c, rng, 2);
-      const bool holds =
-          row.yes_opt >= c.yes_weight() && row.no_opt <= c.no_bound();
-      t.row(t_players, ell, alpha, k, c.num_nodes(), row.yes_opt,
-            c.yes_weight(), row.no_opt, c.no_bound(), c.separated(), holds);
-    }
-    t.print(std::cout);
   }
 
   clb::print_heading(std::cout,
@@ -110,9 +75,7 @@ int main() {
       if (tp <= 5) {
         const auto p = clb::lb::GadgetParams::for_linear_separation(tp, 2);
         const clb::lb::LinearConstruction c(p, tp);
-        const auto row = measure(c, rng, 2);
-        measured = clb::fmt_double(static_cast<double>(row.no_opt) /
-                                   static_cast<double>(row.yes_opt));
+        measured = clb::fmt_double(measured_ratio(c, rng, 2));
       }
       t.row(tp, measured,
             clb::lb::linear_hardness_ratio_formula(1 << 20, 1, tp),

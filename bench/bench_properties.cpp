@@ -6,105 +6,41 @@
 //       matching of size >= ell for all m1 != m2.
 //   P3: an IS can pick from both Code^i_{m1} and Code^j_{m2} in at most
 //       alpha positions.
+//
+// The sweep itself is the property portion of the built-in paper campaign
+// (campaign/manifest.hpp) run through the campaign scheduler — the same
+// jobs, seeds and verdicts `clb campaign run paper` records in
+// campaign.json, so this binary and the CLI cannot drift apart.
 
+#include <algorithm>
 #include <iostream>
 
-#include "graph/matching.hpp"
-#include "lowerbound/linear_family.hpp"
-#include "support/rng.hpp"
-#include "support/table.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/report.hpp"
 
 namespace clb = congestlb;
-using clb::Table;
 
 int main() {
   std::cout << "=== bench_properties: Properties 1-3 across gadget shapes ===\n";
 
-  struct Shape {
-    std::size_t ell, alpha, t;
-  };
-  const Shape shapes[] = {{2, 1, 2}, {3, 1, 3}, {4, 1, 4}, {3, 2, 2},
-                          {4, 2, 3}, {6, 1, 5}, {5, 2, 4}, {8, 2, 3}};
+  clb::campaign::CampaignSpec spec = clb::campaign::builtin_paper_campaign();
+  std::erase_if(spec.sweeps, [](const clb::campaign::SweepSpec& s) {
+    return s.check == clb::campaign::CheckKind::kClaim12 ||
+           s.check == clb::campaign::CheckKind::kClaim35;
+  });
 
-  clb::print_heading(std::cout, "P1 — Property 1 witness independence");
-  {
-    Table t({"ell", "alpha", "t", "k", "witnesses checked", "all independent"});
-    for (const auto& s : shapes) {
-      const auto p = clb::lb::GadgetParams::from_l_alpha(s.ell, s.alpha);
-      const clb::lb::LinearConstruction c(p, s.t);
-      bool all_ok = true;
-      std::size_t checked = 0;
-      for (std::size_t m = 0; m < p.k; ++m) {
-        ++checked;
-        all_ok = all_ok &&
-                 c.fixed_graph().is_independent_set(c.yes_witness(m));
-      }
-      t.row(s.ell, s.alpha, s.t, p.k, checked, all_ok);
-    }
-    t.print(std::cout);
+  clb::campaign::RunOptions opts;
+  opts.threads = 2;
+  const auto result = clb::campaign::run_campaign(spec, opts);
+
+  clb::campaign::print_campaign_tables(std::cout, spec, result);
+  clb::campaign::print_campaign_summary(std::cout, result);
+
+  if (!result.all_hold) {
+    std::cout << "\nPROPERTY VIOLATION — see tables above.\n";
+    return 1;
   }
-
-  clb::print_heading(std::cout,
-                     "P2 — min max-matching between distinct codeword gadgets "
-                     "(paper: >= ell)");
-  {
-    Table t({"ell", "alpha", "t", "pairs checked", "min matching", "claim >= ell",
-             "holds"});
-    clb::Rng rng(7);
-    for (const auto& s : shapes) {
-      const auto p = clb::lb::GadgetParams::from_l_alpha(s.ell, s.alpha);
-      const clb::lb::LinearConstruction c(p, s.t);
-      std::size_t min_matching = p.num_positions() + 1;
-      std::size_t pairs = 0;
-      const std::size_t budget = std::min<std::size_t>(p.k * (p.k - 1), 60);
-      for (std::size_t trial = 0; trial < budget; ++trial) {
-        const std::size_t m1 = rng.below(p.k);
-        std::size_t m2 = rng.below(p.k - 1);
-        if (m2 >= m1) ++m2;
-        const auto matching = clb::graph::max_bipartite_matching(
-            c.fixed_graph(), c.codeword_nodes(0, m1),
-            c.codeword_nodes(1, m2));
-        min_matching = std::min(min_matching, matching.size());
-        ++pairs;
-      }
-      t.row(s.ell, s.alpha, s.t, pairs, min_matching, s.ell,
-            min_matching >= s.ell);
-    }
-    t.print(std::cout);
-  }
-
-  clb::print_heading(std::cout,
-                     "P3 — positions where an IS can hold both codewords "
-                     "(paper: <= alpha)");
-  {
-    Table t({"ell", "alpha", "t", "pairs checked", "max shared positions",
-             "claim <= alpha", "holds"});
-    clb::Rng rng(13);
-    for (const auto& s : shapes) {
-      const auto p = clb::lb::GadgetParams::from_l_alpha(s.ell, s.alpha);
-      const clb::lb::LinearConstruction c(p, s.t);
-      std::size_t max_shared = 0;
-      std::size_t pairs = 0;
-      const std::size_t budget = std::min<std::size_t>(p.k * (p.k - 1), 60);
-      for (std::size_t trial = 0; trial < budget; ++trial) {
-        const std::size_t m1 = rng.below(p.k);
-        std::size_t m2 = rng.below(p.k - 1);
-        if (m2 >= m1) ++m2;
-        const auto left = c.codeword_nodes(0, m1);
-        const auto right = c.codeword_nodes(1, m2);
-        std::size_t shared = 0;
-        for (std::size_t h = 0; h < p.num_positions(); ++h) {
-          if (!c.fixed_graph().has_edge(left[h], right[h])) ++shared;
-        }
-        max_shared = std::max(max_shared, shared);
-        ++pairs;
-      }
-      t.row(s.ell, s.alpha, s.t, pairs, max_shared, s.alpha,
-            max_shared <= s.alpha);
-    }
-    t.print(std::cout);
-  }
-
   std::cout << "\nAll property sweeps completed.\n";
   return 0;
 }

@@ -26,7 +26,11 @@ def load_entries(path):
         doc = json.load(f)
     entries = {}
     for e in doc.get("entries", []):
-        entries[(e["name"], e["threads"])] = e
+        # Entries are keyed by (name, threads); rows from newer bench
+        # families (e.g. BENCH_campaign.json) may omit "threads" or carry
+        # no ns_per_round at all — key them anyway so they show up as
+        # "new", never as a crash.
+        entries[(e.get("name", "?"), e.get("threads", 1))] = e
     return entries
 
 
@@ -46,6 +50,9 @@ def main():
         got = measured.get(key)
         if got is None:
             print(f"note: baseline entry {key} missing from measured run")
+            continue
+        if "ns_per_round" not in got or "ns_per_round" not in base:
+            print(f"note: entry {key} has no ns_per_round; skipping")
             continue
         ratio = got["ns_per_round"] / base["ns_per_round"]
         status = "ok"

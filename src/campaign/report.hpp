@@ -1,0 +1,23 @@
+// Console reporting for campaign runs: the "paper claim vs measured"
+// tables the bench binaries print, regenerated from a run's records so the
+// CLI, the benches, and EXPERIMENTS.md all read off one artifact.
+
+#pragma once
+
+#include <iosfwd>
+
+#include "campaign/campaign.hpp"
+#include "campaign/manifest.hpp"
+
+namespace congestlb::campaign {
+
+/// One table per sweep (layout matches the check kind), rows in spec point
+/// order. Points whose check has no record (a truncated run) render as
+/// "pending" rows rather than being dropped.
+void print_campaign_tables(std::ostream& os, const CampaignSpec& spec,
+                           const CampaignResult& result);
+
+/// One-paragraph run summary: job counts, cache traffic, verdict tally.
+void print_campaign_summary(std::ostream& os, const CampaignResult& result);
+
+}  // namespace congestlb::campaign

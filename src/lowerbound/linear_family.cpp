@@ -52,6 +52,21 @@ LinearConstruction::LinearConstruction(GadgetParams params, std::size_t t)
   g_.add_edges(edges);
 }
 
+LinearConstruction::LinearConstruction(GadgetParams params, std::size_t t,
+                                       graph::Graph cached_fixed)
+    : params_(std::move(params)),
+      t_(t),
+      base_(params_),
+      g_(std::move(cached_fixed)) {
+  CLB_EXPECT(t_ >= 2, "linear construction: t >= 2");
+  CLB_EXPECT(g_.num_nodes() == t_ * params_.nodes_per_copy(),
+             "cached linear construction: node count mismatch");
+  const std::size_t expected_edges =
+      t_ * base_.graph().num_edges() + cut_size();
+  CLB_EXPECT(g_.num_edges() == expected_edges,
+             "cached linear construction: edge count mismatch");
+}
+
 graph::Graph LinearConstruction::instantiate(
     const comm::PromiseInstance& inst) const {
   comm::validate(inst);
@@ -149,15 +164,23 @@ std::vector<NodeId> LinearConstruction::yes_witness(std::size_t m) const {
 }
 
 graph::Weight LinearConstruction::yes_weight() const {
-  return static_cast<graph::Weight>(t_ * (2 * params_.ell + params_.alpha));
+  return linear_yes_weight_formula(params_, t_);
 }
 
 graph::Weight LinearConstruction::no_bound() const {
-  const auto ell = static_cast<graph::Weight>(params_.ell);
-  const auto alpha = static_cast<graph::Weight>(params_.alpha);
-  const auto t = static_cast<graph::Weight>(t_);
-  if (t_ == 2) return 3 * ell + 2 * alpha + 1;  // Claim 2
-  return (t + 1) * ell + alpha * t * t;         // Claim 5
+  return linear_no_bound_formula(params_, t_);
+}
+
+graph::Weight linear_yes_weight_formula(const GadgetParams& p, std::size_t t) {
+  return static_cast<graph::Weight>(t * (2 * p.ell + p.alpha));
+}
+
+graph::Weight linear_no_bound_formula(const GadgetParams& p, std::size_t t) {
+  const auto ell = static_cast<graph::Weight>(p.ell);
+  const auto alpha = static_cast<graph::Weight>(p.alpha);
+  const auto tw = static_cast<graph::Weight>(t);
+  if (t == 2) return 3 * ell + 2 * alpha + 1;  // Claim 2
+  return (tw + 1) * ell + alpha * tw * tw;     // Claim 5
 }
 
 double LinearConstruction::hardness_ratio() const {

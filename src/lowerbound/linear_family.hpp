@@ -28,6 +28,15 @@ class LinearConstruction {
  public:
   LinearConstruction(GadgetParams params, std::size_t t);
 
+  /// Rehydrate from a cached fixed graph (the campaign subsystem's warm
+  /// path, docs/CAMPAIGN.md): `cached_fixed` must be structurally identical
+  /// to what the normal constructor builds for (params, t). Node and edge
+  /// counts are verified; the edge structure itself is trusted — the cache
+  /// is content-addressed, so a key match means the inputs were equal.
+  /// Node labels are not restored (they are presentation-only).
+  LinearConstruction(GadgetParams params, std::size_t t,
+                     graph::Graph cached_fixed);
+
   const GadgetParams& params() const { return params_; }
   std::size_t num_players() const { return t_; }
   std::size_t num_nodes() const { return t_ * params_.nodes_per_copy(); }
@@ -96,6 +105,16 @@ class LinearConstruction {
 /// t = ceil(2/eps): the player count Lemma 2 uses to rule out
 /// (1/2 + eps)-approximation. Requires 0 < eps < 1/2.
 std::size_t linear_players_for_epsilon(double eps);
+
+/// Claim 3's YES-side weight t(2*ell + alpha) from the parameters alone.
+/// Identical to LinearConstruction::yes_weight(), but usable without
+/// building the graph — the campaign's claim checks compare cached solver
+/// results against these bounds without paying for a construction.
+graph::Weight linear_yes_weight_formula(const GadgetParams& p, std::size_t t);
+
+/// Claim 5's NO-side bound (t+1)*ell + alpha*t^2 (Claim 2's tighter
+/// 3*ell + 2*alpha + 1 at t = 2), from the parameters alone.
+graph::Weight linear_no_bound_formula(const GadgetParams& p, std::size_t t);
 
 /// no_bound/yes_weight from the formulas alone — usable at asymptotic
 /// parameter values where actually building the graph is infeasible.

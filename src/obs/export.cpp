@@ -212,18 +212,32 @@ void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
 }
 
 void append_metrics(JsonWriter& jw, const MetricsRegistry& registry) {
+  append_metrics(jw, registry, std::string_view{});
+}
+
+void append_metrics(JsonWriter& jw, const MetricsRegistry& registry,
+                    std::string_view prefix) {
+  const auto matches = [prefix](const std::string& name) {
+    return name.size() >= prefix.size() &&
+           std::string_view(name).substr(0, prefix.size()) == prefix;
+  };
   jw.begin_object();
   jw.key("counters");
   jw.begin_object();
-  for (const auto& c : registry.counters()) jw.kv(c->name(), c->value());
+  for (const auto& c : registry.counters()) {
+    if (matches(c->name())) jw.kv(c->name(), c->value());
+  }
   jw.end_object();
   jw.key("gauges");
   jw.begin_object();
-  for (const auto& g : registry.gauges()) jw.kv(g->name(), g->value());
+  for (const auto& g : registry.gauges()) {
+    if (matches(g->name())) jw.kv(g->name(), g->value());
+  }
   jw.end_object();
   jw.key("histograms");
   jw.begin_object();
   for (const auto& h : registry.histograms()) {
+    if (!matches(h->name())) continue;
     jw.key(h->name());
     jw.begin_object();
     jw.key("upper_bounds");

@@ -48,6 +48,12 @@ void write_chrome_trace(std::ostream& os, std::span<const TraceEvent> events,
 /// (call jw.key("metrics") first to embed it in a larger document).
 void append_metrics(JsonWriter& jw, const MetricsRegistry& registry);
 
+/// Like append_metrics, but only instruments whose dotted name starts with
+/// `prefix` (e.g. "campaign." to embed just the campaign subsystem's view
+/// in a run manifest). An empty prefix matches everything.
+void append_metrics(JsonWriter& jw, const MetricsRegistry& registry,
+                    std::string_view prefix);
+
 /// Standalone flat metrics document:
 /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
 void write_metrics_json(std::ostream& os, const MetricsRegistry& registry);

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 namespace congestlb {
 
@@ -39,6 +40,19 @@ inline std::uint64_t hash_mix(std::uint64_t first, Rest... rest) {
 /// Map a hash to a uniform double in [0,1) (53 mantissa bits).
 inline double hash_to_unit(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// FNV-1a over a byte string. The campaign cache (campaign/cache.hpp) keys
+/// every stored artifact by the FNV-1a digest of a *canonical* textual
+/// description of its inputs, so equal inputs hash equally across runs,
+/// platforms, and worker counts — a content address, not a randomized hash.
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 }  // namespace congestlb

@@ -1,0 +1,140 @@
+// Resume semantics: a killed campaign completed by a resume run must
+// produce a canonical manifest byte-equal to an uninterrupted run, recorded
+// results must replay without re-solving, and a seed change must invalidate
+// every recorded verdict.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "campaign/manifest.hpp"
+
+namespace clb = congestlb;
+namespace cmp = clb::campaign;
+
+namespace {
+
+std::string canonical_manifest(const cmp::CampaignResult& result) {
+  std::ostringstream os;
+  cmp::ManifestWriteOptions opts;
+  opts.include_volatile = false;
+  cmp::write_manifest(os, result, opts);
+  return os.str();
+}
+
+/// Round-trip a result through the full (volatile-bearing) manifest form,
+/// exactly what `clb campaign resume` reads off disk.
+std::map<std::string, cmp::JobRecord> persist_and_reload(
+    const cmp::CampaignResult& result) {
+  std::ostringstream os;
+  cmp::write_manifest(os, result, {});
+  return cmp::read_manifest(os.str()).records;
+}
+
+}  // namespace
+
+TEST(CampaignResume, KilledRunResumesToByteIdenticalManifest) {
+  const auto spec = cmp::builtin_smoke_campaign();
+  const auto uninterrupted = cmp::run_campaign(spec, {});
+  ASSERT_TRUE(uninterrupted.complete);
+  const std::string reference = canonical_manifest(uninterrupted);
+
+  for (const std::size_t kill_after : {1u, 5u, 12u}) {
+    // Simulate a kill: the scheduler abandons everything past the budget,
+    // and only finished jobs land in the manifest.
+    cmp::RunOptions partial_opts;
+    partial_opts.max_jobs = kill_after;
+    const auto partial = cmp::run_campaign(spec, partial_opts);
+    EXPECT_FALSE(partial.complete) << "kill_after=" << kill_after;
+    EXPECT_EQ(partial.records.size(), kill_after);
+    const auto prior = persist_and_reload(partial);
+
+    cmp::RunOptions resume_opts;
+    resume_opts.threads = 2;
+    const auto resumed = cmp::run_campaign(spec, resume_opts, &prior);
+    EXPECT_TRUE(resumed.complete) << "kill_after=" << kill_after;
+    EXPECT_TRUE(resumed.all_hold) << "kill_after=" << kill_after;
+    EXPECT_EQ(canonical_manifest(resumed), reference)
+        << "kill_after=" << kill_after;
+  }
+}
+
+TEST(CampaignResume, CompleteManifestResumesWithoutExecutingAnything) {
+  const auto spec = cmp::builtin_smoke_campaign();
+  const auto full = cmp::run_campaign(spec, {});
+  const auto prior = persist_and_reload(full);
+
+  const auto resumed = cmp::run_campaign(spec, {}, &prior);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.jobs_run, 0u);
+  EXPECT_EQ(resumed.jobs_resumed, resumed.jobs_total);
+  EXPECT_EQ(canonical_manifest(resumed), canonical_manifest(full));
+  for (const auto& rec : resumed.records) {
+    EXPECT_TRUE(rec.resumed) << rec.id;
+  }
+}
+
+TEST(CampaignResume, DroppedCheckRecordsReplaySolvesWithoutResolving) {
+  const auto spec = cmp::builtin_smoke_campaign();
+  const auto full = cmp::run_campaign(spec, {});
+  const std::string reference = canonical_manifest(full);
+
+  auto prior = persist_and_reload(full);
+  std::size_t dropped = 0;
+  for (auto it = prior.begin(); it != prior.end();) {
+    if (it->second.stage == "check") {
+      it = prior.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  ASSERT_GT(dropped, 0u);
+
+  const auto resumed = cmp::run_campaign(spec, {}, &prior);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(canonical_manifest(resumed), reference);
+  // Claim checks recompute from the recorded OPT values: the solve jobs
+  // replay from the manifest instead of re-running branch and bound.
+  for (const auto& rec : resumed.records) {
+    if (rec.stage == "solve-yes" || rec.stage == "solve-no") {
+      EXPECT_TRUE(rec.resumed) << rec.id;
+    }
+    if (rec.stage == "check") {
+      EXPECT_FALSE(rec.resumed) << rec.id;
+    }
+  }
+}
+
+TEST(CampaignResume, SeedChangeInvalidatesEveryRecordedResult) {
+  const auto spec = cmp::builtin_smoke_campaign();
+  const auto full = cmp::run_campaign(spec, {});
+  const auto prior = persist_and_reload(full);
+
+  auto reseeded = spec;
+  reseeded.seed += 1;
+  const auto fresh = cmp::run_campaign(reseeded, {});
+  const auto resumed = cmp::run_campaign(reseeded, {}, &prior);
+
+  // The stale records are ignored: nothing resumes, and the outcome equals
+  // a fresh run at the new seed.
+  EXPECT_EQ(resumed.jobs_resumed, 0u);
+  EXPECT_EQ(resumed.jobs_run, resumed.jobs_total);
+  EXPECT_EQ(canonical_manifest(resumed), canonical_manifest(fresh));
+  EXPECT_NE(resumed.spec_hash, full.spec_hash);
+}
+
+TEST(CampaignResume, TamperedInputsHashForcesRerun) {
+  const auto spec = cmp::builtin_smoke_campaign();
+  const auto full = cmp::run_campaign(spec, {});
+  auto prior = persist_and_reload(full);
+  for (auto& [id, rec] : prior) rec.inputs_hash ^= 0x1;
+
+  const auto resumed = cmp::run_campaign(spec, {}, &prior);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.jobs_resumed, 0u);
+  EXPECT_EQ(canonical_manifest(resumed), canonical_manifest(full));
+}

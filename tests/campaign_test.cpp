@@ -1,0 +1,275 @@
+// Campaign subsystem: JSON document parser, spec parsing/expansion, the
+// work-stealing scheduler, and manifest determinism across worker counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/scheduler.hpp"
+#include "support/expect.hpp"
+#include "support/json.hpp"
+
+namespace clb = congestlb;
+namespace cmp = clb::campaign;
+
+// ----------------------------------------------------------- JSON parser --
+
+TEST(JsonParse, ScalarsAndContainers) {
+  const auto doc = clb::parse_json(
+      R"({"s": "a\"b\nA", "t": true, "f": false, "z": null,)"
+      R"( "arr": [1, 2.5, -3], "obj": {"nested": [{}]}})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("s").as_string(), "a\"b\nA");
+  EXPECT_TRUE(doc.at("t").as_bool());
+  EXPECT_FALSE(doc.at("f").as_bool());
+  EXPECT_TRUE(doc.at("z").is_null());
+  const auto& arr = doc.at("arr").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr[0].as_u64(), 1u);
+  EXPECT_DOUBLE_EQ(arr[1].as_double(), 2.5);
+  EXPECT_EQ(arr[2].as_i64(), -3);
+  EXPECT_EQ(doc.at("obj").at("nested").as_array().size(), 1u);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, IntegerTokensRoundTripExactly) {
+  // 2^64 - 1 and large i64 values do not survive a double round trip; the
+  // parser must keep the integral magnitude (campaign hashes need this).
+  const auto doc =
+      clb::parse_json(R"({"u": 18446744073709551615, "i": -9007199254740993})");
+  EXPECT_EQ(doc.at("u").as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(doc.at("i").as_i64(), -9007199254740993ll);
+  EXPECT_THROW(doc.at("i").as_u64(), clb::InvariantError);
+  EXPECT_THROW(clb::parse_json("1.5").as_u64(), clb::InvariantError);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\" 1}", "tru", "\"unterminated", "1 2",
+        "{\"a\": 1,}", "nul", "[1 2]", "\"bad\\q\""}) {
+    EXPECT_THROW(clb::parse_json(bad), clb::InvariantError) << bad;
+  }
+}
+
+// ------------------------------------------------------------- spec parse --
+
+TEST(CampaignSpec, GridExpandsEllMajor) {
+  const auto spec = cmp::parse_campaign_spec_text(R"({
+    "campaign": "g", "seed": 1, "sweeps": [
+      {"name": "P1", "check": "property1",
+       "grid": {"ell": [2, 3], "alpha": [1], "t": [2, 3]},
+       "points": [{"ell": 4, "alpha": 1, "t": 2, "k": 9}]}]})");
+  ASSERT_EQ(spec.sweeps.size(), 1u);
+  const auto& pts = spec.sweeps[0].points;
+  ASSERT_EQ(pts.size(), 5u);  // 2x1x2 grid + 1 explicit point
+  EXPECT_EQ(pts[0].ell, 2u);
+  EXPECT_EQ(pts[0].t, 2u);
+  EXPECT_EQ(pts[1].ell, 2u);
+  EXPECT_EQ(pts[1].t, 3u);
+  EXPECT_EQ(pts[2].ell, 3u);
+  EXPECT_EQ(pts[2].t, 2u);
+  EXPECT_EQ(pts[3].ell, 3u);
+  EXPECT_EQ(pts[3].t, 3u);
+  EXPECT_EQ(pts[4].k, std::optional<std::size_t>(9));
+}
+
+TEST(CampaignSpec, WriteParseRoundTripPreservesCanonicalForm) {
+  const auto spec = cmp::builtin_paper_campaign();
+  std::ostringstream os;
+  cmp::write_campaign_spec(os, spec);
+  const auto reparsed = cmp::parse_campaign_spec_text(os.str());
+  EXPECT_EQ(spec.canonical(), reparsed.canonical());
+  EXPECT_EQ(spec.content_hash(), reparsed.content_hash());
+}
+
+TEST(CampaignSpec, RejectsInvalidSpecs) {
+  // claim12 is a t = 2 statement.
+  EXPECT_THROW(cmp::parse_campaign_spec_text(R"({
+    "campaign": "x", "sweeps": [{"name": "C", "check": "claim12",
+      "points": [{"ell": 2, "alpha": 1, "t": 3}]}]})"),
+               clb::InvariantError);
+  // Unknown check name.
+  EXPECT_THROW(cmp::parse_campaign_spec_text(R"({
+    "campaign": "x", "sweeps": [{"name": "C", "check": "property9",
+      "points": [{"ell": 2, "alpha": 1, "t": 2}]}]})"),
+               clb::InvariantError);
+  // Duplicate sweep names collide in job-id space.
+  EXPECT_THROW(cmp::parse_campaign_spec_text(R"({
+    "campaign": "x", "sweeps": [
+      {"name": "A", "check": "property1",
+       "points": [{"ell": 2, "alpha": 1, "t": 2}]},
+      {"name": "A", "check": "property2",
+       "points": [{"ell": 2, "alpha": 1, "t": 2}]}]})"),
+               clb::InvariantError);
+}
+
+TEST(CampaignSpec, BuiltinsResolve) {
+  ASSERT_TRUE(cmp::builtin_campaign("paper").has_value());
+  ASSERT_TRUE(cmp::builtin_campaign("smoke").has_value());
+  EXPECT_FALSE(cmp::builtin_campaign("nope").has_value());
+  // Seed changes move the content hash (it keys job invalidation).
+  auto a = cmp::builtin_smoke_campaign();
+  auto b = a;
+  b.seed += 1;
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+// -------------------------------------------------------------- scheduler --
+
+TEST(Scheduler, RespectsDependenciesAcrossWorkers) {
+  for (const std::size_t threads : {1u, 4u}) {
+    cmp::WorkStealingScheduler sched(threads);
+    std::mutex mu;
+    std::vector<std::size_t> order;
+    const auto record = [&](std::size_t id) {
+      return [&, id](std::size_t) {
+        std::lock_guard<std::mutex> lock(mu);
+        order.push_back(id);
+      };
+    };
+    // Diamond fan-out: 0 -> {1..8} -> 9.
+    const std::size_t src = sched.add_job(record(0));
+    std::vector<std::size_t> mid;
+    for (std::size_t i = 1; i <= 8; ++i) {
+      mid.push_back(sched.add_job(record(i)));
+      sched.add_dependency(mid.back(), src);
+    }
+    const std::size_t sink = sched.add_job(record(9));
+    for (const std::size_t m : mid) sched.add_dependency(sink, m);
+
+    const auto report = sched.run();
+    EXPECT_EQ(report.executed, 10u);
+    EXPECT_EQ(report.abandoned, 0u);
+    ASSERT_EQ(order.size(), 10u);
+    EXPECT_EQ(order.front(), 0u);
+    EXPECT_EQ(order.back(), 9u);
+  }
+}
+
+TEST(Scheduler, BudgetAbandonsRemainingJobs) {
+  cmp::WorkStealingScheduler sched(2);
+  std::atomic<std::size_t> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    sched.add_job([&](std::size_t) { ran.fetch_add(1); });
+  }
+  const auto report = sched.run(/*max_executed=*/3);
+  EXPECT_EQ(report.executed, 3u);
+  EXPECT_EQ(report.abandoned, 7u);
+  EXPECT_EQ(ran.load(), 3u);
+  EXPECT_EQ(std::count(report.ran.begin(), report.ran.end(), 1), 3);
+}
+
+TEST(Scheduler, FirstJobExceptionPropagatesAfterDrain) {
+  cmp::WorkStealingScheduler sched(4);
+  std::atomic<std::size_t> ran{0};
+  sched.add_job([](std::size_t) { throw clb::InvariantError("boom"); });
+  for (int i = 0; i < 6; ++i) {
+    sched.add_job([&](std::size_t) { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(sched.run(), clb::InvariantError);
+}
+
+TEST(Scheduler, RejectsMisuse) {
+  cmp::WorkStealingScheduler sched(1);
+  const auto a = sched.add_job([](std::size_t) {});
+  const auto b = sched.add_job([](std::size_t) {});
+  EXPECT_THROW(sched.add_dependency(a, a), clb::InvariantError);
+  EXPECT_THROW(sched.add_dependency(a, 99), clb::InvariantError);
+  sched.add_dependency(b, a);
+  sched.run();
+  EXPECT_THROW(sched.run(), clb::InvariantError);          // single-shot
+  EXPECT_THROW(sched.add_job([](std::size_t) {}), clb::InvariantError);
+}
+
+// ------------------------------------------------- campaign determinism --
+
+namespace {
+
+std::string canonical_manifest(const cmp::CampaignResult& result) {
+  std::ostringstream os;
+  cmp::ManifestWriteOptions opts;
+  opts.include_volatile = false;
+  cmp::write_manifest(os, result, opts);
+  return os.str();
+}
+
+}  // namespace
+
+TEST(Campaign, SmokeRunHoldsAndIsDeterministicAcrossWorkerCounts) {
+  const auto spec = cmp::builtin_smoke_campaign();
+  std::string reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    cmp::RunOptions opts;
+    opts.threads = threads;
+    const auto result = cmp::run_campaign(spec, opts);
+    EXPECT_TRUE(result.complete);
+    EXPECT_TRUE(result.all_hold);
+    EXPECT_EQ(result.jobs_run, result.jobs_total);
+    EXPECT_EQ(result.jobs_resumed, 0u);
+    const std::string manifest = canonical_manifest(result);
+    if (reference.empty()) {
+      reference = manifest;
+    } else {
+      // Bit-identical manifests no matter the worker count / steal order.
+      EXPECT_EQ(manifest, reference) << "threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(Campaign, ClaimBoundsMatchTheFormulas) {
+  const auto spec = cmp::builtin_smoke_campaign();
+  cmp::RunOptions opts;
+  const auto result = cmp::run_campaign(spec, opts);
+  std::size_t claim_checks = 0;
+  for (const auto& rec : result.records) {
+    if (rec.stage != "check" || rec.outcome.yes_opt < 0) continue;
+    ++claim_checks;
+    EXPECT_GE(rec.outcome.yes_opt, rec.outcome.bound_yes) << rec.id;
+    EXPECT_LE(rec.outcome.no_opt, rec.outcome.bound_no) << rec.id;
+  }
+  EXPECT_GT(claim_checks, 0u);
+}
+
+TEST(Campaign, ManifestRoundTripsThroughReadManifest) {
+  const auto spec = cmp::builtin_smoke_campaign();
+  cmp::RunOptions opts;
+  const auto result = cmp::run_campaign(spec, opts);
+
+  std::ostringstream os;
+  cmp::write_manifest(os, result, {});  // full form, volatile included
+  const auto parsed = cmp::read_manifest(os.str());
+  EXPECT_EQ(parsed.campaign, spec.name);
+  EXPECT_EQ(parsed.spec_hash, spec.content_hash());
+  EXPECT_EQ(parsed.records.size(), result.records.size());
+  EXPECT_TRUE(parsed.complete);
+  EXPECT_TRUE(parsed.all_hold);
+  for (const auto& rec : result.records) {
+    const auto it = parsed.records.find(rec.id);
+    ASSERT_NE(it, parsed.records.end()) << rec.id;
+    EXPECT_EQ(it->second.inputs_hash, rec.inputs_hash);
+    EXPECT_EQ(it->second.verdict, rec.verdict);
+    EXPECT_EQ(it->second.outcome.opt, rec.outcome.opt);
+    EXPECT_EQ(it->second.outcome.nodes, rec.outcome.nodes);
+  }
+  EXPECT_THROW(cmp::read_manifest("{\"not\": \"a manifest\"}"),
+               clb::InvariantError);
+}
+
+TEST(Campaign, RepeatedPointInSweepIsRejected) {
+  cmp::CampaignSpec spec;
+  spec.name = "dup";
+  cmp::SweepSpec sweep;
+  sweep.name = "P1";
+  sweep.check = cmp::CheckKind::kProperty1;
+  sweep.points.push_back({2, 1, 2, std::nullopt});
+  sweep.points.push_back({2, 1, 2, std::nullopt});
+  spec.sweeps.push_back(sweep);
+  EXPECT_THROW(cmp::run_campaign(spec, {}), clb::InvariantError);
+}

@@ -9,6 +9,12 @@
 //                                   trace_event file (chrome://tracing or
 //                                   ui.perfetto.dev)
 //   clb protocols <k> <t>           disjointness protocol costs vs CKS bound
+//   clb campaign run|resume|status [paper|smoke|<spec.json>] [options]
+//                                   execute a sweep campaign (docs/CAMPAIGN.md);
+//                                   resume re-runs only missing jobs of the
+//                                   manifest, status reads the manifest back
+//   clb version                     print the library version
+//   clb help                        list every subcommand
 //
 // Graph files use the graph/io.hpp edge-list format:
 //   n <nodes> / w <id> <weight> / e <u> <v>
@@ -19,9 +25,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 
+#include "campaign/campaign.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/report.hpp"
 #include "comm/lower_bound.hpp"
 #include "comm/protocols.hpp"
 #include "congest/algorithms/universal_maxis.hpp"
@@ -40,14 +51,23 @@ namespace clb = congestlb;
 
 namespace {
 
+void print_usage(std::ostream& os) {
+  os << "usage:\n"
+        "  clb bounds <eps> <n>\n"
+        "  clb gap <t> [ell] [alpha] [k]\n"
+        "  clb solve <graph-file>\n"
+        "  clb simulate <t> <seed> <yes|no>\n"
+        "  clb trace <t> <seed> <yes|no> [chrome.json] [canonical.txt]\n"
+        "  clb protocols <k> <t>\n"
+        "  clb campaign run|resume|status [paper|smoke|<spec.json>]\n"
+        "      [--threads N] [--cache-dir DIR] [--manifest FILE]\n"
+        "      [--max-jobs N] [--canonical]\n"
+        "  clb version\n"
+        "  clb help\n";
+}
+
 int usage() {
-  std::cerr << "usage:\n"
-               "  clb bounds <eps> <n>\n"
-               "  clb gap <t> [ell] [alpha] [k]\n"
-               "  clb solve <graph-file>\n"
-               "  clb simulate <t> <seed> <yes|no>\n"
-               "  clb trace <t> <seed> <yes|no> [chrome.json] [canonical.txt]\n"
-               "  clb protocols <k> <t>\n";
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -326,6 +346,158 @@ int cmd_protocols(int argc, char** argv) {
   return 0;
 }
 
+std::optional<clb::campaign::CampaignSpec> load_spec(const std::string& arg) {
+  if (const auto builtin = clb::campaign::builtin_campaign(arg)) {
+    return builtin;
+  }
+  std::ifstream in(arg);
+  if (!in) {
+    std::cerr << "cannot open campaign spec '" << arg
+              << "' (not a built-in name or a readable file)\n";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return clb::campaign::parse_campaign_spec_text(text.str());
+}
+
+int cmd_campaign(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string action = argv[0];
+  if (action != "run" && action != "resume" && action != "status") {
+    return bad_arg("campaign action (run|resume|status)", argv[0]);
+  }
+
+  std::string spec_arg = "paper";
+  std::string manifest_path = "campaign.json";
+  std::string cache_dir = ".clb-cache";
+  std::uint64_t threads = 1;
+  std::uint64_t max_jobs = 0;
+  bool canonical = false;
+  bool have_positional = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--threads") {
+      const auto v = parse_u64(value());
+      if (!v || *v == 0) return bad_arg("--threads", argv[i]);
+      threads = *v;
+    } else if (a == "--max-jobs") {
+      const auto v = parse_u64(value());
+      if (!v) return bad_arg("--max-jobs", argv[i]);
+      max_jobs = *v;
+    } else if (a == "--cache-dir") {
+      const char* v = value();
+      if (v == nullptr) return bad_arg("--cache-dir", a.c_str());
+      cache_dir = v;
+    } else if (a == "--manifest") {
+      const char* v = value();
+      if (v == nullptr) return bad_arg("--manifest", a.c_str());
+      manifest_path = v;
+    } else if (a == "--canonical") {
+      canonical = true;
+    } else if (!a.empty() && a[0] == '-') {
+      return bad_arg("campaign option", argv[i]);
+    } else if (!have_positional) {
+      spec_arg = a;
+      have_positional = true;
+    } else {
+      return bad_arg("campaign argument", argv[i]);
+    }
+  }
+
+  if (action == "status") {
+    std::ifstream in(manifest_path);
+    if (!in) {
+      std::cerr << "cannot open manifest '" << manifest_path << "'\n";
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const auto m = clb::campaign::read_manifest(text.str());
+    std::size_t checks = 0, holding = 0, pending_hint = 0;
+    for (const auto& [id, rec] : m.records) {
+      (void)id;
+      if (rec.stage != "check") continue;
+      ++checks;
+      if (rec.verdict == "holds") ++holding;
+    }
+    pending_hint = m.jobs_total - m.records.size();
+    clb::Table tbl({"field", "value"});
+    tbl.row("campaign", m.campaign);
+    tbl.row("spec hash", clb::campaign::ContentCache::hex_key(m.spec_hash));
+    tbl.row("jobs recorded", std::to_string(m.records.size()) + " / " +
+                                 std::to_string(m.jobs_total));
+    tbl.row("jobs missing", pending_hint);
+    tbl.row("checks holding",
+            std::to_string(holding) + " / " + std::to_string(checks));
+    tbl.row("complete", m.complete);
+    tbl.row("all hold", m.all_hold);
+    tbl.print(std::cout);
+    return m.complete && m.all_hold ? 0 : 1;
+  }
+
+  const auto spec = load_spec(spec_arg);
+  if (!spec) return 1;
+
+  clb::obs::MetricsRegistry metrics;
+  clb::campaign::RunOptions opts;
+  opts.threads = static_cast<std::size_t>(threads);
+  opts.cache_dir = cache_dir;
+  opts.max_jobs = static_cast<std::size_t>(max_jobs);
+  opts.metrics = &metrics;
+
+  std::map<std::string, clb::campaign::JobRecord> prior;
+  bool resuming = false;
+  if (action == "resume") {
+    std::ifstream in(manifest_path);
+    if (in) {
+      std::ostringstream text;
+      text << in.rdbuf();
+      const auto m = clb::campaign::read_manifest(text.str());
+      if (m.spec_hash != spec->content_hash()) {
+        std::cerr << "note: manifest '" << manifest_path
+                  << "' was written by a different spec; jobs whose inputs "
+                     "changed will re-run\n";
+      }
+      prior = m.records;
+      resuming = true;
+    } else {
+      std::cerr << "note: no manifest at '" << manifest_path
+                << "', running from scratch\n";
+    }
+  }
+
+  const auto result = clb::campaign::run_campaign(
+      *spec, opts, resuming ? &prior : nullptr);
+
+  std::ofstream out(manifest_path);
+  if (!out) {
+    std::cerr << "cannot write manifest '" << manifest_path << "'\n";
+    return 1;
+  }
+  clb::campaign::ManifestWriteOptions wopts;
+  wopts.include_volatile = !canonical;
+  wopts.metrics = canonical ? nullptr : &metrics;
+  clb::campaign::write_manifest(out, result, wopts);
+
+  clb::campaign::print_campaign_tables(std::cout, *spec, result);
+  clb::campaign::print_campaign_summary(std::cout, result);
+  std::cout << "manifest: " << manifest_path << "\n";
+  return result.all_hold ? 0 : 1;
+}
+
+int cmd_version() {
+#ifdef CLB_VERSION
+  std::cout << "clb " << CLB_VERSION << "\n";
+#else
+  std::cout << "clb (unversioned build)\n";
+#endif
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -338,6 +510,12 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") return cmd_simulate(argc - 2, argv + 2);
     if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
     if (cmd == "protocols") return cmd_protocols(argc - 2, argv + 2);
+    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
+    if (cmd == "version" || cmd == "--version") return cmd_version();
+    if (cmd == "help" || cmd == "--help") {
+      print_usage(std::cout);
+      return 0;
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
