@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_simulation.json against the checked-in baseline.
+"""Compare a fresh BENCH_*.json against the checked-in baseline.
 
 Usage:
     scripts/check_bench_regression.py <measured.json> <baseline.json> [--factor F]
 
-Entries are matched by (name, threads). The check fails (exit 1) when any
-matched entry's ns_per_round exceeds factor * baseline (default 2x), or when
-a steady-state flood workload reports nonzero allocations per round. Entries
-present on only one side are reported but do not fail the check, so adding
-or renaming workloads does not require a lockstep baseline update.
+Entries are matched by (name, threads); the timing metric is ns_per_round
+(simulation benches) or ns_per_solve (solver benches), whichever the entry
+carries. The check fails (exit 1) when any matched entry's metric exceeds
+factor * baseline (default 2x), or when a steady-state flood workload
+reports nonzero allocations per round. Individual entries present on only
+one side are reported but do not fail the check, so adding or renaming
+workloads does not require a lockstep baseline update — but when *every*
+baseline row is missing from the measured run, the comparison is vacuous
+(wrong file, renamed family, empty run) and the check fails rather than
+passing on zero comparisons.
 
 The baseline in bench/baselines/ is deliberately generous: it exists to
 catch order-of-magnitude engine regressions on shared CI runners, not to
@@ -34,6 +39,14 @@ def load_entries(path):
     return entries
 
 
+def metric_ns(entry):
+    """The entry's timing metric: ns_per_round or ns_per_solve."""
+    for field in ("ns_per_round", "ns_per_solve"):
+        if field in entry:
+            return entry[field]
+    return None
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("measured")
@@ -46,23 +59,35 @@ def main():
     baseline = load_entries(args.baseline)
 
     failures = []
+    compared = 0
+    comparable = 0
     for key, base in sorted(baseline.items()):
+        base_ns = metric_ns(base)
+        if base_ns is None:
+            continue
+        comparable += 1
         got = measured.get(key)
         if got is None:
             print(f"note: baseline entry {key} missing from measured run")
             continue
-        if "ns_per_round" not in got or "ns_per_round" not in base:
-            print(f"note: entry {key} has no ns_per_round; skipping")
+        got_ns = metric_ns(got)
+        if got_ns is None:
+            print(f"note: entry {key} carries no timing metric; skipping")
             continue
-        ratio = got["ns_per_round"] / base["ns_per_round"]
+        compared += 1
+        ratio = got_ns / base_ns
         status = "ok"
-        if got["ns_per_round"] > args.factor * base["ns_per_round"]:
+        if got_ns > args.factor * base_ns:
             status = "REGRESSION"
             failures.append(
-                f"{key}: {got['ns_per_round']:.0f} ns/round vs baseline "
-                f"{base['ns_per_round']:.0f} ({ratio:.2f}x > {args.factor}x)")
-        print(f"{key[0]} (threads={key[1]}): {got['ns_per_round']:.0f} ns/round, "
+                f"{key}: {got_ns:.0f} ns vs baseline "
+                f"{base_ns:.0f} ({ratio:.2f}x > {args.factor}x)")
+        print(f"{key[0]} (threads={key[1]}): {got_ns:.0f} ns, "
               f"{ratio:.2f}x baseline -> {status}")
+    if comparable > 0 and compared == 0:
+        failures.append(
+            f"no baseline entry matched the measured run "
+            f"(0 of {comparable} compared) -- wrong file or renamed family?")
 
     for key, got in sorted(measured.items()):
         if key not in baseline:
@@ -77,7 +102,7 @@ def main():
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print("\nBenchmark regression check passed.")
+    print(f"\nBenchmark regression check passed ({compared} entries compared).")
     return 0
 
 

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "campaign/scheduler.hpp"
+#include "maxis/parallel_bnb.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "support/expect.hpp"
@@ -138,7 +139,8 @@ Expansion expand(const CampaignSpec& spec) {
             gkey + "|stage=" + std::string(stage_name(s.stage)) +
             "|trials=" + std::to_string(sweep.trials) +
             "|seed=" + std::to_string(s.seed) +
-            "|density=" + (yes ? "0.3" : "0.4") + "|solver=bnb-exact");
+            "|density=" + (yes ? "0.3" : "0.4") +
+            "|solver=" + std::string(maxis::kSolverVersion));
         solve_hash[b] = s.inputs_hash;
         s.deps = {build};
         solve_idx[b] = push(std::move(s));

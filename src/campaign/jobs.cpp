@@ -6,7 +6,7 @@
 #include "comm/instances.hpp"
 #include "graph/io.hpp"
 #include "graph/matching.hpp"
-#include "maxis/branch_and_bound.hpp"
+#include "maxis/parallel_bnb.hpp"
 #include "support/expect.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
@@ -154,7 +154,10 @@ std::int64_t solve_branch(const lb::LinearConstruction& c, bool yes_branch,
         yes_branch
             ? comm::make_uniquely_intersecting(p.k, c.num_players(), rng, 0.3)
             : comm::make_pairwise_disjoint(p.k, c.num_players(), rng, 0.4);
-    best = std::max(best, maxis::solve_exact(c.instantiate(inst)).weight);
+    // Full engine, single-threaded: the campaign already parallelizes
+    // across jobs, so nesting worker pools here would only oversubscribe.
+    best = std::max(best,
+                    maxis::solve_maxis(c.instantiate(inst)).solution.weight);
   }
   return static_cast<std::int64_t>(best);
 }

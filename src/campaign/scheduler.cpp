@@ -51,6 +51,7 @@ bool WorkStealingScheduler::pop_or_steal(std::size_t w, std::size_t* job) {
     if (!victim.q.empty()) {
       *job = victim.q.front();  // steal the oldest (largest-subtree) work
       victim.q.pop_front();
+      steals_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -144,6 +145,7 @@ WorkStealingScheduler::Report WorkStealingScheduler::run(
   if (first_error_) std::rethrow_exception(first_error_);
 
   Report report;
+  report.steals = steals_.load(std::memory_order_relaxed);
   report.ran = ran_;
   for (const std::uint8_t r : ran_) report.executed += r;
   report.abandoned = jobs_.size() - report.executed;

@@ -57,6 +57,10 @@ class WorkStealingScheduler {
   struct Report {
     std::size_t executed = 0;   ///< jobs whose fn actually ran
     std::size_t abandoned = 0;  ///< drained without running (budget/error)
+    /// Jobs popped from a victim's deque rather than the worker's own.
+    /// Scheduling-dependent by nature: observability only, never part of
+    /// any determinism contract.
+    std::uint64_t steals = 0;
     /// ran[j] — whether job j executed. Indexed by add_job id.
     std::vector<std::uint8_t> ran;
   };
@@ -93,6 +97,7 @@ class WorkStealingScheduler {
 
   std::mutex wait_mu_;
   std::condition_variable wait_cv_;
+  std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::size_t> done_{0};
   std::atomic<std::size_t> issued_{0};
   std::atomic<bool> abandon_{false};

@@ -37,19 +37,23 @@ bool is_connected(const Graph& g) {
 
 std::vector<std::size_t> connected_components(const Graph& g) {
   std::vector<std::size_t> comp(g.num_nodes(), kInfiniteDistance);
+  // Flat FIFO shared across components: every vertex enters it exactly
+  // once, so one n-sized buffer replaces a per-component deque (this scan
+  // sits on the exact-solver hot path).
+  std::vector<NodeId> queue;
+  queue.reserve(g.num_nodes());
+  std::size_t head = 0;
   std::size_t next = 0;
   for (NodeId s = 0; s < g.num_nodes(); ++s) {
     if (comp[s] != kInfiniteDistance) continue;
-    std::queue<NodeId> q;
     comp[s] = next;
-    q.push(s);
-    while (!q.empty()) {
-      NodeId u = q.front();
-      q.pop();
+    queue.push_back(s);
+    while (head < queue.size()) {
+      const NodeId u = queue[head++];
       for (NodeId v : g.neighbors(u)) {
         if (comp[v] == kInfiniteDistance) {
           comp[v] = next;
-          q.push(v);
+          queue.push_back(v);
         }
       }
     }

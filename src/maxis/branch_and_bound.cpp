@@ -153,8 +153,4 @@ BnBResult solve_branch_and_bound(const graph::Graph& g, BnBOptions opts) {
   return BnBSolver(g, opts).solve();
 }
 
-IsSolution solve_exact(const graph::Graph& g) {
-  return solve_branch_and_bound(g).solution;
-}
-
 }  // namespace congestlb::maxis

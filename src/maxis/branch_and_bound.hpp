@@ -31,7 +31,10 @@ struct BnBResult {
 /// Exact solver. Requires nonnegative weights.
 BnBResult solve_branch_and_bound(const graph::Graph& g, BnBOptions opts = {});
 
-/// Convenience wrapper returning just the solution.
+/// Exact solve through the full engine (kernelize + decompose + warm-start
+/// + branch and bound; maxis/parallel_bnb.hpp) with default options.
+/// Defined in parallel_bnb.cpp. Callers that want the *plain* single-tree
+/// search — e.g. as the ablation baseline — use solve_branch_and_bound.
 IsSolution solve_exact(const graph::Graph& g);
 
 }  // namespace congestlb::maxis

@@ -1,0 +1,132 @@
+// FPT-style kernelization for maximum-weight independent set.
+//
+// The solver engine (parallel_bnb.hpp) runs this reduction pipeline to a
+// fixpoint before any search. Each rule either decides a vertex outright or
+// rewrites the instance into a strictly smaller equivalent one, and every
+// decision is journaled so unfold() can reconstruct a certified optimal
+// solution on the original graph. The rules (the classic measure-and-conquer
+// set, weighted variants):
+//
+//   isolated    deg(v) = 0                 -> take v
+//   degree-1    N(v) = {u}, w(v) <  w(u)   -> fold: delete v, w(u) -= w(v),
+//                                             bank w(v); v in IS iff u out
+//               N(v) = {u}, w(v) >= w(u)   -> take v, delete u
+//   domination  u ~ v, N[v] <= N[u],
+//               w(v) >= w(u)               -> drop u (swap u -> v never loses)
+//   simplicial  N(v) a clique, w(v) >=
+//               max w over N(v)            -> take v, delete N[v]
+//   twin        u !~ v, N(u) = N(v)        -> merge v into u (w(u) += w(v));
+//                                             v in IS iff u in
+//
+// On the paper's instantiated gadget graphs — large cliques glued by cut
+// edges, with the promise-instance reweighting breaking the weight ties the
+// simplicial and domination rules need — the pipeline typically decides
+// nothing (BENCH_maxis.json records the hit counts per rule); its value
+// there is that an identity kernel is detected cheaply and the engine
+// searches the input graph directly. The rules earn their keep on sparse
+// and structured inputs (paths, trees, pendant structure, duplicated
+// vertices), which kernel_test pins.
+//
+// Cost control: the domination and simplicial predicates are
+// O(deg(v) * n/64) per vertex, quadratic in degree across a scan. Vertices
+// with degree above KernelOptions::max_rule_degree skip those two rules —
+// on dense instances they essentially never fire there, and an unbounded
+// scan would cost more than the whole branch-and-bound search. Lowering
+// the cap never breaks correctness, it only weakens the kernel.
+//
+// Determinism: rules are applied in the fixed order above, scanning vertex
+// ids ascending, so the kernel, the event journal, and therefore the
+// unfolded solution are pure functions of the input graph (and options).
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace congestlb::maxis {
+
+using graph::NodeId;
+using graph::Weight;
+
+/// Per-rule hit counts for one kernelization run (exported as
+/// maxis.kernel.* metrics by the solver engine).
+struct KernelStats {
+  std::uint64_t isolated = 0;    ///< degree-0 vertices taken
+  std::uint64_t folded = 0;      ///< degree-1 folds (w(v) < w(u) case)
+  std::uint64_t degree1 = 0;     ///< degree-1 takes (w(v) >= w(u) case)
+  std::uint64_t dominated = 0;   ///< vertices dropped by domination
+  std::uint64_t simplicial = 0;  ///< simplicial vertices taken
+  std::uint64_t twins = 0;       ///< twin merges
+  std::uint64_t passes = 0;      ///< pipeline passes until fixpoint
+
+  std::uint64_t decisions() const {
+    return isolated + folded + degree1 + dominated + simplicial + twins;
+  }
+};
+
+struct KernelOptions {
+  /// Degree cap for the quadratic-cost rules (domination, simplicial).
+  /// Vertices above it are only eligible for the linear-cost rules
+  /// (isolated, degree-1, twin). 0 = no cap.
+  std::size_t max_rule_degree = 64;
+};
+
+/// True when at least one reduction rule can fire on g — checked directly
+/// on the CSR adjacency, without materializing any reduction state. The
+/// solver engine calls this first and constructs a Kernel only on a true
+/// return; on the paper's (irreducible) gadget instances that makes
+/// kernelization an O(m) scan with no graph copy at all.
+bool kernelizable(const graph::Graph& g, const KernelOptions& opts = {});
+
+/// One kernelization of a graph: the reduced instance, the banked weight,
+/// and the journal needed to lift a reduced-graph solution back.
+class Kernel {
+ public:
+  /// Runs the pipeline to fixpoint. Requires nonnegative weights (throws
+  /// InvariantError otherwise — same contract as the exact solvers).
+  explicit Kernel(const graph::Graph& g, const KernelOptions& opts = {});
+
+  /// The kernel instance. Node i corresponds to original_id(i); weights
+  /// reflect folds and twin merges, so OPT(original) = OPT(reduced) +
+  /// offset().
+  const graph::Graph& reduced() const { return reduced_; }
+
+  /// Weight banked by forced takes and folds; add to any reduced-graph IS
+  /// weight to get the original-graph weight of its unfolding.
+  Weight offset() const { return offset_; }
+
+  const KernelStats& stats() const { return stats_; }
+
+  /// Original id of kernel vertex i.
+  NodeId original_id(std::size_t i) const { return survivors_[i]; }
+
+  /// Lift an independent set of reduced() (kernel ids) to an independent
+  /// set of the original graph by replaying the journal backwards. The
+  /// result satisfies w(result) = w(kernel_solution) + offset(); callers
+  /// pass it through maxis::checked() for the full certificate.
+  std::vector<NodeId> unfold(std::span<const NodeId> kernel_solution) const;
+
+ private:
+  enum class Rule : std::uint8_t {
+    kTake,     ///< v unconditionally in the solution
+    kFold,     ///< v in the solution iff u ends up out
+    kTwin,     ///< v in the solution iff u ends up in
+  };
+  struct Event {
+    Rule rule;
+    NodeId v = 0;
+    NodeId u = 0;
+  };
+
+  graph::Graph reduced_;
+  std::vector<NodeId> survivors_;
+  std::vector<Event> journal_;
+  Weight offset_ = 0;
+  KernelStats stats_;
+  std::size_t original_n_ = 0;
+};
+
+}  // namespace congestlb::maxis

@@ -1,0 +1,106 @@
+// The exact MaxIS solver engine: kernelize, decompose, warm-start, then
+// branch and bound — optionally fanned out over the campaign work-stealing
+// pool (docs/SOLVER.md).
+//
+// Pipeline per solve:
+//   1. kernelization (maxis/kernel.hpp) to a fixpoint; the search runs on
+//      the reduced instance and the solution is unfolded and re-verified on
+//      the original graph (an identity kernel searches the input directly);
+//   2. connected-component decomposition of the kernel — components solve
+//      independently and their solutions concatenate (a single component
+//      skips the induced-subgraph copy);
+//   3. an incumbent warm start per component (word-arena greedy + 2-swap
+//      local search), so the bound prunes from the first search node;
+//   4. a serial *probe*: the canonical single-tree search under a node cap,
+//      which chains its incumbent across subtrees exactly like the seed
+//      solver. Components the probe finishes are solved outright; only
+//      cap-exhausted components fan out their top search subtrees as jobs
+//      on a campaign::WorkStealingScheduler, each pruning against the
+//      deterministic max(warm, probe-best) incumbent.
+//
+// Bounding is two-tier: a fixed clique partition computed once per
+// component gives an O(#cliques) bit-probe bound (near-exact on the
+// paper's union-of-cliques gadgets, and ~10x cheaper than the seed
+// solver's per-node cover rebuild); only when it fails to prune is the
+// greedy clique cover recomputed over the live candidate set.
+//
+// Determinism contract (pinned by parallel_bnb_test across threads 1/2/8):
+// the returned solution, its weight, and search_nodes are bit-identical for
+// every thread count. The probe is serial and capped by a constant, the job
+// set is a pure function of the graph (fanout never depends on `threads`),
+// each job prunes only against the deterministic warm/probe incumbent plus
+// its own local best, and the shared incumbent is a monotone max register
+// combined with a structural (lowest-job-index) tie-break — so neither
+// execution order nor steal pattern can leak into any output.
+// Report.steals is the one deliberately volatile observable.
+
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "maxis/kernel.hpp"
+#include "maxis/verify.hpp"
+
+namespace congestlb::obs {
+class MetricsRegistry;
+}
+
+namespace congestlb::maxis {
+
+/// Version tag for downstream content-addressed caches (campaign solve
+/// jobs hash it into their cache keys). Any change to the engine's search
+/// semantics must bump this, so OPTs recorded by one solver generation are
+/// never replayed as another's — old cache slots simply stop being
+/// addressed instead of going stale.
+inline constexpr std::string_view kSolverVersion = "kernel-bnb-v2";
+
+struct EngineOptions {
+  /// Run the reduction pipeline before searching. Off = search the input
+  /// graph directly (the `clb solve --kernel=off` ablation path).
+  bool kernelize = true;
+  /// Worker threads for the subtree jobs. 1 runs the same jobs inline in
+  /// structural order; results are bit-identical either way.
+  std::size_t threads = 1;
+  /// Per-job search budget (throws InvariantError when exhausted; 0 =
+  /// unlimited). Deliberately per-job, not global: a shared countdown would
+  /// make the abort point depend on scheduling.
+  std::uint64_t max_search_nodes = 200'000'000;
+  /// Serial probe budget per component: the whole-tree search runs inline
+  /// up to this many nodes and, if it finishes, the component never fans
+  /// out. The default generously covers every gadget search observed in
+  /// the paper campaign (hundreds to a few thousand nodes) — fanning out a
+  /// search the probe can finish only loses, because root-level subtree
+  /// jobs forfeit the probe's chained incumbent. 0 disables the probe
+  /// (every component goes straight to the fanout — the path the
+  /// determinism tests exercise). When max_search_nodes is smaller than
+  /// this, the probe is skipped so the budget-exhaustion contract stays
+  /// with the throwing job search.
+  std::uint64_t probe_search_nodes = 20'000;
+  /// Subtree jobs fanned out per cap-exhausted component. Structural:
+  /// never derived from `threads`, so the job set (and with it
+  /// search_nodes) is identical for every worker count.
+  std::size_t fanout = 16;
+  /// Cap-exhausted components smaller than this still solve as one job —
+  /// fanout bookkeeping costs more than the search there.
+  std::size_t fanout_min_nodes = 48;
+  /// Optional sink for maxis.kernel.* rule hit-counts and maxis.engine.*
+  /// job/steal counters (serial update after the pool drains).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct EngineResult {
+  IsSolution solution;             ///< verified on the *original* graph
+  std::uint64_t search_nodes = 0;  ///< probe + jobs; thread-invariant
+  std::size_t components = 0;      ///< kernel components searched
+  std::size_t jobs = 0;            ///< fanout jobs executed (0 = probe won)
+  std::uint64_t steals = 0;        ///< pool steals (volatile; see header)
+  KernelStats kernel;              ///< rule hit counts (zero if kernelize off)
+  std::size_t kernel_nodes = 0;    ///< vertices surviving into the search
+};
+
+/// Exact maximum-weight independent set via the full engine. Requires
+/// nonnegative weights.
+EngineResult solve_maxis(const graph::Graph& g, const EngineOptions& opts = {});
+
+}  // namespace congestlb::maxis

@@ -1,0 +1,223 @@
+// Solver engine (maxis/parallel_bnb.hpp): the determinism contract —
+// solution, weight, and search_nodes bit-identical across thread counts,
+// with the probe disabled so the fanout path really executes — plus OPT
+// agreement with the seed solver, kernel on/off equivalence, budget
+// enforcement, and structural edge cases.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "comm/instances.hpp"
+#include "lowerbound/linear_family.hpp"
+#include "lowerbound/params.hpp"
+#include "maxis/branch_and_bound.hpp"
+#include "maxis/parallel_bnb.hpp"
+#include "property_harness.hpp"
+#include "support/expect.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::maxis {
+namespace {
+
+graph::Graph random_weighted(Rng& rng, std::size_t n, double p,
+                             graph::Weight max_w) {
+  graph::Graph g(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    g.set_weight(v, static_cast<graph::Weight>(1 + rng.below(max_w)));
+  }
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(p)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+/// A small instantiated paper gadget (the shape family the campaign
+/// solves), YES or NO branch.
+graph::Graph gadget(bool yes, std::uint64_t trial) {
+  const auto params = lb::GadgetParams::from_l_alpha(6, 1, 7);
+  const lb::LinearConstruction c(params, 3);
+  Rng rng(0x9e3779b97f4a7c15ULL * trial + (yes ? 1 : 0));
+  const auto inst = yes ? comm::make_uniquely_intersecting(
+                              params.k, c.num_players(), rng, 0.3)
+                        : comm::make_pairwise_disjoint(
+                              params.k, c.num_players(), rng, 0.4);
+  return c.instantiate(inst);
+}
+
+/// Options that force the fanout: probe off, fanout floor at zero, so the
+/// multi-threaded job path runs even on small graphs.
+EngineOptions fanout_options(std::size_t threads) {
+  EngineOptions opts;
+  opts.threads = threads;
+  opts.probe_search_nodes = 0;
+  opts.fanout_min_nodes = 0;
+  return opts;
+}
+
+// ------------------------------------------------------------- determinism --
+
+TEST(SolverEngine, BitIdenticalAcrossThreadCounts) {
+  // The pinned contract: same solution nodes, weight, and search_nodes for
+  // threads 1/2/8 — with the probe disabled so every component fans out
+  // and the work-stealing pool actually races.
+  for (const bool yes : {false, true}) {
+    for (std::uint64_t trial = 0; trial < 2; ++trial) {
+      const graph::Graph g = gadget(yes, trial);
+      const EngineResult base = solve_maxis(g, fanout_options(1));
+      EXPECT_GT(base.jobs, 0u) << "fanout did not engage";
+      for (const std::size_t threads : {2u, 8u}) {
+        const EngineResult got = solve_maxis(g, fanout_options(threads));
+        EXPECT_EQ(got.solution.nodes, base.solution.nodes)
+            << "threads=" << threads;
+        EXPECT_EQ(got.solution.weight, base.solution.weight);
+        EXPECT_EQ(got.search_nodes, base.search_nodes)
+            << "threads=" << threads;
+        EXPECT_EQ(got.jobs, base.jobs);
+      }
+    }
+  }
+}
+
+TEST(SolverEngine, DefaultOptionsAreThreadInvariantToo) {
+  // With the default probe the engine usually solves serially; the
+  // observables must still not depend on the thread count.
+  const graph::Graph g = gadget(false, 0);
+  const EngineResult t1 = solve_maxis(g);
+  EngineOptions mt;
+  mt.threads = 8;
+  const EngineResult t8 = solve_maxis(g, mt);
+  EXPECT_EQ(t1.solution.nodes, t8.solution.nodes);
+  EXPECT_EQ(t1.search_nodes, t8.search_nodes);
+}
+
+TEST(SolverEngine, DeterminismOnRandomGraphs) {
+  const testing::Property prop =
+      [](std::uint64_t seed, std::size_t size) -> std::optional<std::string> {
+    Rng rng(seed);
+    const std::size_t n = 1 + rng.below(2 + 3 * size);
+    const graph::Graph g =
+        random_weighted(rng, n, 0.02 + rng.uniform() * 0.3, 8);
+    const EngineResult a = solve_maxis(g, fanout_options(1));
+    const EngineResult b = solve_maxis(g, fanout_options(7));
+    if (a.solution.nodes != b.solution.nodes ||
+        a.search_nodes != b.search_nodes) {
+      return "thread-dependent result on n=" + std::to_string(n);
+    }
+    return std::nullopt;
+  };
+  const auto failure = testing::check_seeds(prop, 99, 40, 16);
+  EXPECT_FALSE(failure.has_value()) << failure->describe();
+}
+
+// --------------------------------------------------------------- exactness --
+
+TEST(SolverEngine, MatchesSeedSolverOnGadgets) {
+  for (const bool yes : {false, true}) {
+    const graph::Graph g = gadget(yes, 1);
+    const Weight seed_opt = solve_branch_and_bound(g).solution.weight;
+    EXPECT_EQ(solve_maxis(g).solution.weight, seed_opt);
+  }
+}
+
+TEST(SolverEngine, MatchesSeedSolverOnRandomGraphs) {
+  const testing::Property prop =
+      [](std::uint64_t seed, std::size_t size) -> std::optional<std::string> {
+    Rng rng(seed ^ 0x5eed);
+    const std::size_t n = 1 + rng.below(2 + 3 * size);
+    const graph::Graph g =
+        random_weighted(rng, n, 0.02 + rng.uniform() * 0.5, 6);
+    const Weight seed_opt = solve_branch_and_bound(g).solution.weight;
+    const Weight engine_opt = solve_maxis(g).solution.weight;
+    if (engine_opt != seed_opt) {
+      return "engine " + std::to_string(engine_opt) + " != seed " +
+             std::to_string(seed_opt);
+    }
+    return std::nullopt;
+  };
+  const auto failure = testing::check_seeds(prop, 1234, 60, 14);
+  EXPECT_FALSE(failure.has_value()) << failure->describe();
+}
+
+TEST(SolverEngine, KernelAblationAgrees) {
+  Rng rng(7);
+  for (int it = 0; it < 30; ++it) {
+    const graph::Graph g =
+        random_weighted(rng, 2 + rng.below(30), 0.15, 5);
+    EngineOptions off;
+    off.kernelize = false;
+    const EngineResult with = solve_maxis(g);
+    const EngineResult without = solve_maxis(g, off);
+    EXPECT_EQ(with.solution.weight, without.solution.weight);
+    EXPECT_EQ(without.kernel.decisions(), 0u);
+    EXPECT_EQ(without.kernel_nodes, g.num_nodes());
+  }
+}
+
+// -------------------------------------------------------------- edge cases --
+
+TEST(SolverEngine, EmptyAndTrivialGraphs) {
+  const EngineResult empty = solve_maxis(graph::Graph(0));
+  EXPECT_EQ(empty.solution.weight, 0);
+  EXPECT_TRUE(empty.solution.nodes.empty());
+
+  graph::Graph one(1);
+  one.set_weight(0, 9);
+  EXPECT_EQ(solve_maxis(one).solution.weight, 9);
+
+  // Zero-weight vertices are legal (nonnegative contract).
+  graph::Graph zeros(3, /*default_weight=*/0);
+  zeros.add_edge(0, 1);
+  EXPECT_EQ(solve_maxis(zeros).solution.weight, 0);
+}
+
+TEST(SolverEngine, DisconnectedComponentsCompose) {
+  // Two triangles and an isolated vertex: OPT is the per-component sum.
+  graph::Graph g(7);
+  for (graph::NodeId v = 0; v < 7; ++v) {
+    g.set_weight(v, static_cast<graph::Weight>(1 + v));
+  }
+  for (graph::NodeId b : {0u, 3u}) {
+    g.add_edge(b, b + 1);
+    g.add_edge(b + 1, b + 2);
+    g.add_edge(b, b + 2);
+  }
+  EngineOptions opts;
+  opts.kernelize = false;  // keep the triangles (simplicial rule would
+                           // solve them outright)
+  const EngineResult res = solve_maxis(g, opts);
+  EXPECT_EQ(res.components, 3u);
+  EXPECT_EQ(res.solution.weight, 3 + 6 + 7);
+}
+
+TEST(SolverEngine, NegativeWeightRejected) {
+  graph::Graph g(2);
+  g.set_weight(0, -2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(solve_maxis(g), InvariantError);
+}
+
+TEST(SolverEngine, OptionValidation) {
+  const graph::Graph g = gadget(false, 0);
+  EngineOptions bad;
+  bad.threads = 0;
+  EXPECT_THROW(solve_maxis(g, bad), InvariantError);
+  bad = {};
+  bad.fanout = 0;
+  EXPECT_THROW(solve_maxis(g, bad), InvariantError);
+}
+
+TEST(SolverEngine, SearchBudgetEnforced) {
+  // A budget below the probe threshold skips the probe and must surface as
+  // the job search's throwing exhaustion, same contract as the seed solver.
+  const graph::Graph g = gadget(false, 0);
+  EngineOptions tiny;
+  tiny.max_search_nodes = 4;
+  EXPECT_THROW(solve_maxis(g, tiny), InvariantError);
+}
+
+}  // namespace
+}  // namespace congestlb::maxis

@@ -2,7 +2,9 @@
 //
 //   clb bounds <eps> <n>            Theorem 1/2 round bounds
 //   clb gap <t> [ell] [alpha] [k]   gap predicate of the linear family
-//   clb solve <graph-file>          exact MaxIS + min VC of an edge-list file
+//   clb solve <graph-file> [--kernel=on|off] [--threads N]
+//                                   exact MaxIS + min VC of an edge-list file
+//                                   through the solver engine (docs/SOLVER.md)
 //   clb simulate <t> <seed> <yes|no> run the Theorem-5 reduction once
 //   clb trace <t> <seed> <yes|no> [chrome.json] [canonical.txt]
 //                                   run the reduction traced; write a Chrome
@@ -40,6 +42,7 @@
 #include "lowerbound/framework.hpp"
 #include "lowerbound/structured_solver.hpp"
 #include "maxis/branch_and_bound.hpp"
+#include "maxis/parallel_bnb.hpp"
 #include "maxis/vertex_cover.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -55,7 +58,7 @@ void print_usage(std::ostream& os) {
   os << "usage:\n"
         "  clb bounds <eps> <n>\n"
         "  clb gap <t> [ell] [alpha] [k]\n"
-        "  clb solve <graph-file>\n"
+        "  clb solve <graph-file> [--kernel=on|off] [--threads N]\n"
         "  clb simulate <t> <seed> <yes|no>\n"
         "  clb trace <t> <seed> <yes|no> [chrome.json] [canonical.txt]\n"
         "  clb protocols <k> <t>\n"
@@ -186,16 +189,51 @@ int cmd_gap(int argc, char** argv) {
 
 int cmd_solve(int argc, char** argv) {
   if (argc < 1) return usage();
-  std::ifstream in(argv[0]);
+  clb::maxis::EngineOptions eopts;
+  const char* file = nullptr;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a(argv[i]);
+    if (a == "--kernel=on") {
+      eopts.kernelize = true;
+    } else if (a == "--kernel=off") {
+      eopts.kernelize = false;
+    } else if (a == "--threads") {
+      if (i + 1 >= argc) return bad_arg("--threads", "(missing)");
+      const auto n = parse_u64(argv[++i]);
+      if (!n || *n == 0) return bad_arg("--threads", argv[i]);
+      eopts.threads = *n;
+    } else if (a.rfind("--", 0) == 0) {
+      return bad_arg("solve option", argv[i]);
+    } else if (file == nullptr) {
+      file = argv[i];
+    } else {
+      return bad_arg("extra argument", argv[i]);
+    }
+  }
+  if (file == nullptr) return usage();
+  std::ifstream in(file);
   if (!in) {
-    std::cerr << "cannot open " << argv[0] << "\n";
+    std::cerr << "cannot open " << file << "\n";
     return 1;
   }
   const clb::graph::Graph g = clb::graph::read_edge_list(in);
-  const auto is = clb::maxis::solve_exact(g);
+  const auto res = clb::maxis::solve_maxis(g, eopts);
   const auto vc = clb::maxis::solve_vertex_cover_exact(g);
   std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
             << " edges, total weight " << g.total_weight() << "\n";
+  std::cout << "solver: " << clb::maxis::kSolverVersion << ", kernel "
+            << (eopts.kernelize ? "on" : "off") << ", threads "
+            << eopts.threads << "\n";
+  std::cout << "kernel: " << res.kernel_nodes << " nodes kept, "
+            << res.kernel.decisions() << " decided ("
+            << res.kernel.isolated << " isolated, " << res.kernel.folded
+            << " folded, " << res.kernel.degree1 << " degree-1, "
+            << res.kernel.dominated << " dominated, "
+            << res.kernel.simplicial << " simplicial, " << res.kernel.twins
+            << " twins; " << res.kernel.passes << " passes)\n";
+  std::cout << "search: " << res.components << " components, " << res.jobs
+            << " jobs, " << res.search_nodes << " nodes\n";
+  const auto& is = res.solution;
   std::cout << "max independent set: weight " << is.weight << ", nodes:";
   for (auto v : is.nodes) std::cout << ' ' << v;
   std::cout << "\nmin vertex cover: weight " << vc.weight << ", nodes:";
