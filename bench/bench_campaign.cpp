@@ -39,6 +39,12 @@ struct Row {
   std::size_t jobs_resumed = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  // Fault-domain counters (campaign/supervise.hpp). A bench run executes
+  // with no chaos injected, so any nonzero value means real jobs failed;
+  // check_bench_regression.py fails the gate on them.
+  std::uint64_t retries = 0;
+  std::size_t jobs_quarantined = 0;
+  std::size_t jobs_blocked = 0;
 };
 
 Row run_once(const cmp::CampaignSpec& spec, const std::string& name,
@@ -61,6 +67,9 @@ Row run_once(const cmp::CampaignSpec& spec, const std::string& name,
   r.jobs_resumed = result.jobs_resumed;
   r.cache_hits = result.cache.hits();
   r.cache_misses = result.cache.misses;
+  r.retries = result.retries;
+  r.jobs_quarantined = result.jobs_quarantined;
+  r.jobs_blocked = result.jobs_blocked;
   return r;
 }
 
@@ -124,6 +133,9 @@ int main() {
       jw.kv("jobs_resumed", static_cast<std::uint64_t>(r.jobs_resumed));
       jw.kv("cache_hits", r.cache_hits);
       jw.kv("cache_misses", r.cache_misses);
+      jw.kv("retries", r.retries);
+      jw.kv("jobs_quarantined", static_cast<std::uint64_t>(r.jobs_quarantined));
+      jw.kv("jobs_blocked", static_cast<std::uint64_t>(r.jobs_blocked));
       jw.end_object();
     }
     jw.end_array();

@@ -37,8 +37,8 @@ double measured_ratio(const clb::lb::LinearConstruction& c, clb::Rng& rng,
                       int trials) {
   namespace cmp = clb::campaign;
   const std::uint64_t seed = rng.next();
-  const auto yes = cmp::solve_branch(c, true, trials, seed);
-  const auto no = cmp::solve_branch(c, false, trials, seed);
+  const auto yes = cmp::solve_branch(c, true, trials, seed).opt;
+  const auto no = cmp::solve_branch(c, false, trials, seed).opt;
   return static_cast<double>(no) / static_cast<double>(yes);
 }
 

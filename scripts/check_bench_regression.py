@@ -96,6 +96,15 @@ def main():
             failures.append(
                 f"{key}: steady-state flood allocated "
                 f"{got['allocs_per_round']} times/round (must be 0)")
+        # Fault-domain gate (campaign entries): a bench runs with no chaos
+        # injected, so any retry, quarantined, or blocked job means real
+        # work failed — never acceptable in a green run, whatever the
+        # timings look like.
+        for fault in ("retries", "jobs_quarantined", "jobs_blocked"):
+            if got.get(fault, 0) > 0:
+                failures.append(
+                    f"{key}: {fault} = {got[fault]} in a chaos-free bench "
+                    f"run (must be 0)")
 
     if failures:
         print("\nBenchmark regression check FAILED:", file=sys.stderr)

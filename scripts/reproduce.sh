@@ -1,10 +1,30 @@
 #!/usr/bin/env bash
-# Full reproduction: configure, build, run the test suite and every
-# experiment bench, capturing outputs at the repository root
-# (test_output.txt, bench_output.txt) — the artifacts EXPERIMENTS.md is
-# written from.
+# Full reproduction: configure, build, run the test suite, every experiment
+# bench, and the paper campaign, capturing outputs at the repository root
+# (test_output.txt, bench_output.txt, campaign_output.txt) — the artifacts
+# EXPERIMENTS.md is written from.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+CAMPAIGN_MANIFEST=campaign.json
+CAMPAIGN_CACHE=.clb-cache
+
+# An interrupted reproduction must not strand torn campaign artifacts: on
+# SIGINT/SIGTERM, audit and repair the cache tree and drop any half-written
+# manifest debris, so the next invocation resumes from a consistent state
+# (the campaign step below uses `resume`, so completed work is kept).
+cleanup_partial() {
+  status=$?
+  trap - INT TERM
+  echo "interrupted -- repairing partial campaign state" >&2
+  if [ -x build/tools/clb ]; then
+    build/tools/clb campaign fsck --repair \
+      --cache-dir "$CAMPAIGN_CACHE" --manifest "$CAMPAIGN_MANIFEST" || true
+  fi
+  rm -f "$CAMPAIGN_MANIFEST.tmp" "$CAMPAIGN_MANIFEST.intent"
+  exit "$status"
+}
+trap cleanup_partial INT TERM
 
 cmake -B build -G Ninja
 cmake --build build
@@ -19,4 +39,12 @@ for b in build/bench/*; do
   fi
 done
 
-echo "done: test_output.txt, bench_output.txt"
+# The paper campaign, resumable: a previous partial manifest (e.g. from an
+# interrupted run) is picked up instead of recomputed.
+build/tools/clb campaign resume paper --threads "$(nproc)" \
+  --cache-dir "$CAMPAIGN_CACHE" --manifest "$CAMPAIGN_MANIFEST" \
+  2>&1 | tee campaign_output.txt
+build/tools/clb campaign status --manifest "$CAMPAIGN_MANIFEST" \
+  2>&1 | tee -a campaign_output.txt
+
+echo "done: test_output.txt, bench_output.txt, campaign_output.txt"

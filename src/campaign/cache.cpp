@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/expect.hpp"
+#include "support/hash.hpp"
 
 namespace congestlb::campaign {
 
@@ -12,7 +13,7 @@ namespace fs = std::filesystem;
 
 namespace {
 
-constexpr std::string_view kHeaderMagic = "clb-cache v1";
+constexpr std::string_view kHeaderMagic = "clb-cache v2";
 
 std::string mem_key(std::string_view kind, std::uint64_t key) {
   return std::string(kind) + "/" + ContentCache::hex_key(key);
@@ -26,6 +27,33 @@ bool kind_is_path_safe(std::string_view kind) {
     if (!ok) return false;
   }
   return true;
+}
+
+std::string header_line(std::string_view kind, std::string_view hex16,
+                        std::string_view payload) {
+  std::ostringstream h;
+  h << kHeaderMagic << " " << kind << " " << hex16 << " " << payload.size()
+    << " " << ContentCache::hex_key(fnv1a64(payload));
+  return h.str();
+}
+
+// Reads `path` and verifies the full v2 contract against (kind, hex16).
+// Returns the payload on success. Any mismatch — wrong magic (including v1
+// slots), wrong kind/key, truncated or padded payload, digest mismatch,
+// unreadable file — returns nullopt.
+std::optional<std::string> read_slot(const std::string& path,
+                                     std::string_view kind,
+                                     std::string_view hex16) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header;
+  std::getline(in, header);
+  std::ostringstream body;
+  body << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  std::string payload = body.str();
+  if (header != header_line(kind, hex16, payload)) return std::nullopt;
+  return payload;
 }
 
 }  // namespace
@@ -44,7 +72,14 @@ std::string ContentCache::hex_key(std::uint64_t key) {
 
 std::string ContentCache::slot_path(std::string_view kind,
                                     std::uint64_t key) const {
-  return dir_ + "/" + std::string(kind) + "/" + hex_key(key) + ".clbc";
+  return dir_ + "/" + std::string(kind) + "/" + hex_key(key) +
+         std::string(kSlotSuffix);
+}
+
+bool ContentCache::valid_slot_file(const std::string& path,
+                                   std::string_view kind,
+                                   std::string_view hex16) {
+  return read_slot(path, kind, hex16).has_value();
 }
 
 std::optional<std::string> ContentCache::load(std::string_view kind,
@@ -60,31 +95,18 @@ std::optional<std::string> ContentCache::load(std::string_view kind,
     ++stats_.misses;
     return std::nullopt;
   }
-  std::ifstream in(slot_path(kind, key), std::ios::binary);
-  if (!in) {
-    ++stats_.misses;
-    return std::nullopt;
-  }
-  std::string header;
-  std::getline(in, header);
-  const std::string expected = std::string(kHeaderMagic) + " " +
-                               std::string(kind) + " " + hex_key(key);
-  if (header != expected) {
-    ++stats_.invalid;
-    ++stats_.misses;
-    return std::nullopt;
-  }
-  std::ostringstream payload;
-  payload << in.rdbuf();
-  if (in.bad()) {
-    ++stats_.invalid;
+  const std::string path = slot_path(kind, key);
+  std::error_code ec;
+  const bool present = fs::exists(path, ec) && !ec;
+  auto payload = read_slot(path, kind, hex_key(key));
+  if (!payload) {
+    if (present) ++stats_.invalid;  // torn/foreign slot demotes to a miss
     ++stats_.misses;
     return std::nullopt;
   }
   ++stats_.disk_hits;
-  std::string out = payload.str();
-  mem_[mk] = out;  // promote so repeat lookups skip the filesystem
-  return out;
+  mem_[mk] = *payload;  // promote so repeat lookups skip the filesystem
+  return payload;
 }
 
 void ContentCache::store(std::string_view kind, std::uint64_t key,
@@ -99,20 +121,34 @@ void ContentCache::store(std::string_view kind, std::uint64_t key,
   fs::create_directories(dir_ + "/" + std::string(kind), ec);
   if (ec) return;  // disk tier is best-effort; the memory tier still holds it
   const std::string path = slot_path(kind, key);
-  const std::string tmp = path + ".tmp." + hex_key(key);
+  const std::string intent = path + std::string(kIntentSuffix);
+  const std::string tmp =
+      path + std::string(kTmpInfix) + hex_key(key);
+  // Write-ahead intent: created before the mutation starts, removed only
+  // after the rename lands. A crash in between leaves the intent behind,
+  // telling fsck "whatever tmp/slot state you find here is mid-write".
+  {
+    std::ofstream mark(intent, std::ios::binary | std::ios::trunc);
+    if (!mark) return;
+    mark << kind << "/" << hex_key(key) << "\n";
+  }
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return;
-    out << kHeaderMagic << " " << kind << " " << hex_key(key) << "\n"
-        << payload;
+    if (!out) {
+      fs::remove(intent, ec);
+      return;
+    }
+    out << header_line(kind, hex_key(key), payload) << "\n" << payload;
     if (!out.good()) {
       out.close();
       fs::remove(tmp, ec);
+      fs::remove(intent, ec);
       return;
     }
   }
   fs::rename(tmp, path, ec);
   if (ec) fs::remove(tmp, ec);
+  fs::remove(intent, ec);
 }
 
 CacheStats ContentCache::stats() const {

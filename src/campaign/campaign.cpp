@@ -11,9 +11,11 @@
 #include <utility>
 
 #include "campaign/scheduler.hpp"
+#include "campaign/supervise.hpp"
 #include "maxis/parallel_bnb.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "support/deadline.hpp"
 #include "support/expect.hpp"
 #include "support/hash.hpp"
 #include "support/json.hpp"
@@ -282,6 +284,11 @@ CampaignResult run_campaign(const CampaignSpec& spec, const RunOptions& opts,
     if (r.inputs_hash != e.inputs_hash) return nullptr;
     if (r.stage != stage_name(e.stage)) return nullptr;
     if (r.verdict.empty()) return nullptr;
+    // Fault verdicts and deadline-degraded outcomes are recorded so the
+    // manifest tells the truth, but never honored on resume — the job
+    // re-runs with whatever budget/luck the new run has.
+    if (r.verdict == "quarantined" || r.verdict == "blocked") return nullptr;
+    if (r.outcome.approximate) return nullptr;
     return &r;
   };
 
@@ -362,14 +369,25 @@ CampaignResult run_campaign(const CampaignSpec& spec, const RunOptions& opts,
   struct Slot {
     std::int64_t yes = -1;
     std::int64_t no = -1;
+    bool yes_approx = false;
+    bool no_approx = false;
   };
   std::vector<Slot> slots(x.num_point_slots);
   std::vector<std::optional<JobRecord>> out(n);
+  // Fault-domain state. `poisoned[i]` marks a quarantined or blocked job;
+  // dependents read it before running. Plain bytes are safe: the scheduler
+  // orders every dependency completion before its dependent starts
+  // (deps_left_ acq_rel in scheduler.cpp).
+  Supervisor supervisor(opts.retry, spec.seed, opts.chaos);
+  std::vector<std::uint8_t> poisoned(n, 0);
 
   obs::Counter* m_exec = nullptr;
   obs::Counter* m_replay = nullptr;
   obs::Counter* m_holds = nullptr;
   obs::Counter* m_violated = nullptr;
+  obs::Counter* m_retried = nullptr;
+  obs::Counter* m_quarantined = nullptr;
+  obs::Counter* m_blocked = nullptr;
   obs::Histogram* m_wall = nullptr;
   if (opts.metrics != nullptr) {
     opts.metrics->ensure_shards(opts.threads);
@@ -377,6 +395,9 @@ CampaignResult run_campaign(const CampaignSpec& spec, const RunOptions& opts,
     m_replay = &opts.metrics->counter("campaign.jobs.replayed");
     m_holds = &opts.metrics->counter("campaign.checks.holds");
     m_violated = &opts.metrics->counter("campaign.checks.violated");
+    m_retried = &opts.metrics->counter("campaign.jobs.retried");
+    m_quarantined = &opts.metrics->counter("campaign.jobs.quarantined");
+    m_blocked = &opts.metrics->counter("campaign.jobs.blocked");
     m_wall = &opts.metrics->histogram("campaign.job_wall_us",
                                       {100, 1000, 10000, 100000, 1000000});
   }
@@ -397,69 +418,124 @@ CampaignResult run_campaign(const CampaignSpec& spec, const RunOptions& opts,
       rec.id = e.id;
       rec.inputs_hash = e.inputs_hash;
       rec.stage = std::string(stage_name(e.stage));
-      switch (e.stage) {
-        case Stage::kBuild: {
-          auto payload = cache.load("gadget", e.inputs_hash);
-          rec.cache_hit = payload.has_value();
-          GadgetSlot& slot = gadgets[e.gadget_idx];
-          if (payload.has_value()) {
-            const GadgetHeader h = parse_gadget_header(*payload);
-            rec.outcome.nodes = h.nodes;
-            rec.outcome.edges = h.edges;
-            rec.outcome.cut = h.cut;
-            slot.payload = std::move(*payload);
-          } else {
-            lb::LinearConstruction c =
-                build_gadget(e.point, std::string());
-            cache.store("gadget", e.inputs_hash, serialize_gadget(c));
-            rec.outcome = build_outcome(c);
-            slot.c.emplace(std::move(c));
-          }
-          rec.verdict = "built";
-          break;
-        }
-        case Stage::kSolveYes:
-        case Stage::kSolveNo: {
-          const bool yes = e.stage == Stage::kSolveYes;
-          std::int64_t opt;
-          const auto payload = cache.load("opt", e.inputs_hash);
-          if (payload.has_value()) {
-            opt = parse_i64(*payload, "opt cache slot");
-            rec.cache_hit = true;
-          } else {
-            opt = solve_branch(ensure_built(e.gadget_idx), yes, e.trials,
-                               e.seed);
-            cache.store("opt", e.inputs_hash, std::to_string(opt));
-          }
-          rec.outcome.opt = opt;
-          rec.verdict = "opt";
-          Slot& s = slots[e.point_slot];
-          (yes ? s.yes : s.no) = opt;
-          break;
-        }
-        case Stage::kCheck: {
-          const auto payload = cache.load("verdict", e.inputs_hash);
-          if (payload.has_value()) {
-            rec.outcome = parse_outcome_payload(*payload);
-            rec.cache_hit = true;
-          } else {
-            rec.outcome =
-                is_claim(e.check)
-                    ? check_claim(e.check, e.point, slots[e.point_slot].yes,
-                                  slots[e.point_slot].no)
-                    : check_property(e.check, ensure_built(e.gadget_idx),
+      bool blocked = false;
+      for (const std::size_t d : e.deps) {
+        if (poisoned[d] != 0) blocked = true;
+      }
+      if (blocked) {
+        // A quarantined dependency means this job's inputs don't exist;
+        // running it would only fail confusingly. One poison job degrades
+        // its cone of dependents, not the campaign.
+        rec.verdict = "blocked";
+        rec.diagnostic = "dependency quarantined or blocked";
+        poisoned[ei] = 1;
+        if (m_blocked != nullptr) m_blocked->inc(w);
+      } else {
+        JobRecord work;
+        const auto body = [&] {
+          // Every attempt starts from a clean record so a half-filled
+          // record from a failed try cannot leak into the retry.
+          work = JobRecord{};
+          work.id = e.id;
+          work.inputs_hash = e.inputs_hash;
+          work.stage = std::string(stage_name(e.stage));
+          switch (e.stage) {
+            case Stage::kBuild: {
+              auto payload = cache.load("gadget", e.inputs_hash);
+              work.cache_hit = payload.has_value();
+              GadgetSlot& slot = gadgets[e.gadget_idx];
+              if (payload.has_value()) {
+                const GadgetHeader h = parse_gadget_header(*payload);
+                work.outcome.nodes = h.nodes;
+                work.outcome.edges = h.edges;
+                work.outcome.cut = h.cut;
+                slot.payload = std::move(*payload);
+              } else {
+                lb::LinearConstruction c =
+                    build_gadget(e.point, std::string());
+                cache.store("gadget", e.inputs_hash, serialize_gadget(c));
+                work.outcome = build_outcome(c);
+                slot.c.emplace(std::move(c));
+              }
+              work.verdict = "built";
+              break;
+            }
+            case Stage::kSolveYes:
+            case Stage::kSolveNo: {
+              const bool yes = e.stage == Stage::kSolveYes;
+              Slot& s = slots[e.point_slot];
+              const auto payload = cache.load("opt", e.inputs_hash);
+              if (payload.has_value()) {
+                work.outcome.opt = parse_i64(*payload, "opt cache slot");
+                work.cache_hit = true;
+              } else {
+                std::optional<DeadlineToken> ddl;
+                if (opts.job_deadline_ms > 0) {
+                  ddl.emplace(
+                      std::chrono::milliseconds(opts.job_deadline_ms));
+                }
+                const SolveResult sr =
+                    solve_branch(ensure_built(e.gadget_idx), yes, e.trials,
+                                 e.seed, ddl.has_value() ? &*ddl : nullptr);
+                work.outcome.opt = sr.opt;
+                work.outcome.approximate = sr.approximate;
+                // An approximate OPT is run-local: caching one would let a
+                // tight deadline silently weaken every later campaign.
+                if (!sr.approximate) {
+                  cache.store("opt", e.inputs_hash, std::to_string(sr.opt));
+                }
+              }
+              work.verdict = "opt";
+              (yes ? s.yes : s.no) = work.outcome.opt;
+              (yes ? s.yes_approx : s.no_approx) = work.outcome.approximate;
+              break;
+            }
+            case Stage::kCheck: {
+              const auto payload = cache.load("verdict", e.inputs_hash);
+              if (payload.has_value()) {
+                work.outcome = parse_outcome_payload(*payload);
+                work.cache_hit = true;
+              } else {
+                if (is_claim(e.check)) {
+                  const Slot& s = slots[e.point_slot];
+                  work.outcome = check_claim(e.check, e.point, s.yes, s.no);
+                  work.outcome.approximate = s.yes_approx || s.no_approx;
+                } else {
+                  work.outcome =
+                      check_property(e.check, ensure_built(e.gadget_idx),
                                      e.seed, e.sample_budget);
-            cache.store("verdict", e.inputs_hash,
-                        outcome_payload(e.check, rec.outcome));
+                }
+                if (!work.outcome.approximate) {
+                  cache.store("verdict", e.inputs_hash,
+                              outcome_payload(e.check, work.outcome));
+                }
+              }
+              work.verdict = work.outcome.holds ? "holds" : "violated";
+              break;
+            }
           }
-          rec.verdict = rec.outcome.holds ? "holds" : "violated";
-          if (opts.metrics != nullptr) {
+        };
+        const SuperviseOutcome so = supervisor.supervise(e.id, body);
+        if (so.ok) {
+          rec = std::move(work);
+          if (m_exec != nullptr) m_exec->inc(w);
+          // Verdict metrics only for attempts that stuck — a retried check
+          // must not double-count its holds/violated tally.
+          if (e.stage == Stage::kCheck && opts.metrics != nullptr) {
             (rec.outcome.holds ? m_holds : m_violated)->inc(w);
           }
-          break;
+        } else {
+          rec.verdict = "quarantined";
+          rec.diagnostic = so.diagnostic;
+          poisoned[ei] = 1;
+          if (m_quarantined != nullptr) m_quarantined->inc(w);
+        }
+        rec.attempts = so.attempts;
+        rec.backoff_us = so.backoff_total_us;
+        if (m_retried != nullptr && so.attempts > 1) {
+          m_retried->add(so.attempts - 1, w);
         }
       }
-      if (m_exec != nullptr) m_exec->inc(w);
     }
 
     const auto dt = std::chrono::steady_clock::now() - t0;
@@ -522,11 +598,17 @@ CampaignResult run_campaign(const CampaignSpec& spec, const RunOptions& opts,
             [](const JobRecord& a, const JobRecord& b) { return a.id < b.id; });
   res.complete = res.records.size() == res.jobs_total;
   for (const JobRecord& r : res.records) {
+    if (r.verdict == "quarantined") ++res.jobs_quarantined;
+    if (r.verdict == "blocked") ++res.jobs_blocked;
     if (r.stage != "check") continue;
     ++res.checks;
     if (r.verdict == "holds") ++res.checks_holding;
   }
-  res.all_hold = res.complete && res.checks_holding == res.checks;
+  res.retries = supervisor.retries();
+  // A degraded campaign never claims success: quarantined or blocked jobs
+  // veto all_hold even when every check that did run holds.
+  res.all_hold = res.complete && res.checks_holding == res.checks &&
+                 res.jobs_quarantined == 0 && res.jobs_blocked == 0;
   res.cache = cache.stats();
   res.total_wall_ms = std::chrono::duration<double, std::milli>(
                           std::chrono::steady_clock::now() - run_start)
@@ -548,6 +630,8 @@ void write_manifest(std::ostream& os, const CampaignResult& result,
   w.kv("jobs_recorded", static_cast<std::uint64_t>(result.records.size()));
   w.kv("checks", static_cast<std::uint64_t>(result.checks));
   w.kv("checks_holding", static_cast<std::uint64_t>(result.checks_holding));
+  w.kv("quarantined", static_cast<std::uint64_t>(result.jobs_quarantined));
+  w.kv("blocked", static_cast<std::uint64_t>(result.jobs_blocked));
   w.kv("all_hold", result.all_hold);
   w.end_object();
   w.key("jobs");
@@ -567,6 +651,7 @@ void write_manifest(std::ostream& os, const CampaignResult& result,
       w.kv("cut", o.cut);
     } else if (r.stage == "solve-yes" || r.stage == "solve-no") {
       w.kv("opt", o.opt);
+      if (o.approximate) w.kv("approximate", true);
     } else {
       w.kv("checked", o.checked);
       w.kv("min_matching", o.min_matching);
@@ -575,12 +660,16 @@ void write_manifest(std::ostream& os, const CampaignResult& result,
       w.kv("no_opt", o.no_opt);
       w.kv("bound_yes", o.bound_yes);
       w.kv("bound_no", o.bound_no);
+      if (o.approximate) w.kv("approximate", true);
     }
     w.end_object();
     if (opts.include_volatile) {
       w.kv("wall_ms", r.wall_ms);
       w.kv("cache_hit", r.cache_hit);
       w.kv("resumed", r.resumed);
+      w.kv("attempts", static_cast<std::uint64_t>(r.attempts));
+      w.kv("backoff_us", r.backoff_us);
+      if (!r.diagnostic.empty()) w.kv("diagnostic", r.diagnostic);
     }
     w.end_object();
   }
@@ -591,6 +680,7 @@ void write_manifest(std::ostream& os, const CampaignResult& result,
     w.kv("threads", static_cast<std::uint64_t>(result.threads));
     w.kv("jobs_run", static_cast<std::uint64_t>(result.jobs_run));
     w.kv("jobs_resumed", static_cast<std::uint64_t>(result.jobs_resumed));
+    w.kv("retries", result.retries);
     w.kv("wall_ms", result.total_wall_ms);
     w.key("cache");
     w.begin_object();
@@ -645,10 +735,22 @@ ParsedManifest read_manifest(std::string_view json_text) {
     if (const JsonValue* v = d.find("no_opt")) o.no_opt = v->as_i64();
     if (const JsonValue* v = d.find("bound_yes")) o.bound_yes = v->as_i64();
     if (const JsonValue* v = d.find("bound_no")) o.bound_no = v->as_i64();
+    if (const JsonValue* v = d.find("approximate")) {
+      o.approximate = v->as_bool();
+    }
     o.holds = r.verdict == "holds";
     if (const JsonValue* v = j.find("wall_ms")) r.wall_ms = v->as_double();
     if (const JsonValue* v = j.find("cache_hit")) r.cache_hit = v->as_bool();
     if (const JsonValue* v = j.find("resumed")) r.resumed = v->as_bool();
+    if (const JsonValue* v = j.find("attempts")) {
+      r.attempts = static_cast<std::size_t>(v->as_u64());
+    }
+    if (const JsonValue* v = j.find("backoff_us")) r.backoff_us = v->as_u64();
+    if (const JsonValue* v = j.find("diagnostic")) {
+      r.diagnostic = v->as_string();
+    }
+    if (r.verdict == "quarantined") ++m.jobs_quarantined;
+    if (r.verdict == "blocked") ++m.jobs_blocked;
     CLB_EXPECT(m.records.emplace(r.id, std::move(r)).second,
                "manifest: duplicate job id");
   }

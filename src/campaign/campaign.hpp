@@ -29,6 +29,7 @@
 #include "campaign/cache.hpp"
 #include "campaign/jobs.hpp"
 #include "campaign/manifest.hpp"
+#include "campaign/supervise.hpp"
 
 namespace congestlb::obs {
 class MetricsRegistry;
@@ -47,18 +48,35 @@ struct RunOptions {
   /// Optional metrics sink; campaign.* counters/histograms are registered
   /// there and a campaign.*-filtered snapshot lands in the full manifest.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Per-job wall-clock deadline for exact-solve jobs (0 = none). A solve
+  /// whose deadline fires still records its certified best incumbent,
+  /// flagged approximate — approximate results are never cached and never
+  /// honored on resume, so a later run with more budget replaces them.
+  std::uint64_t job_deadline_ms = 0;
+  /// Retry/quarantine discipline for failing jobs (campaign/supervise.hpp).
+  RetryPolicy retry;
+  /// Deterministic fault injection for tests and the chaos harness.
+  std::optional<ChaosConfig> chaos;
 };
 
 struct JobRecord {
   std::string id;  ///< "gadget/<point>" or "<sweep>/<point>/<stage>"
   std::uint64_t inputs_hash = 0;
   std::string stage;    ///< "build" | "solve-yes" | "solve-no" | "check"
-  std::string verdict;  ///< "built" | "opt" | "holds" | "violated"
+  /// "built" | "opt" | "holds" | "violated", or the fault verdicts:
+  /// "quarantined" (failed every retry) | "blocked" (a dependency was
+  /// quarantined or blocked, so this job never ran). Fault verdicts are
+  /// canonical — a degraded campaign is visibly degraded in the manifest —
+  /// but match() never honors them on resume, so the jobs re-run.
+  std::string verdict;
   PointOutcome outcome;
   // Volatile (excluded from the canonical manifest form):
   bool resumed = false;    ///< carried/replayed from a prior manifest
   bool cache_hit = false;  ///< served from the content cache
   double wall_ms = 0;
+  std::size_t attempts = 1;      ///< supervisor tries consumed
+  std::uint64_t backoff_us = 0;  ///< total scheduled retry backoff
+  std::string diagnostic;        ///< last failure (fault verdicts only)
 };
 
 struct CampaignResult {
@@ -73,7 +91,11 @@ struct CampaignResult {
   bool complete = false;         ///< every expanded job has a record
   std::size_t checks = 0;          ///< check records present
   std::size_t checks_holding = 0;  ///< ... with verdict "holds"
-  bool all_hold = false;  ///< complete && every check verdict == "holds"
+  /// complete && every check holds && nothing quarantined or blocked.
+  bool all_hold = false;
+  std::size_t jobs_quarantined = 0;  ///< verdict == "quarantined"
+  std::size_t jobs_blocked = 0;      ///< verdict == "blocked"
+  std::uint64_t retries = 0;         ///< supervisor retry attempts, total
   CacheStats cache;
   double total_wall_ms = 0;
   std::size_t threads = 1;
@@ -107,6 +129,8 @@ struct ParsedManifest {
   std::size_t jobs_total = 0;
   bool complete = false;
   bool all_hold = false;
+  std::size_t jobs_quarantined = 0;  ///< records with verdict "quarantined"
+  std::size_t jobs_blocked = 0;      ///< records with verdict "blocked"
 };
 
 /// Parse a manifest document (canonical or full). Throws InvariantError on

@@ -7,6 +7,7 @@
 #include "graph/io.hpp"
 #include "graph/matching.hpp"
 #include "maxis/parallel_bnb.hpp"
+#include "support/deadline.hpp"
 #include "support/expect.hpp"
 #include "support/hash.hpp"
 #include "support/rng.hpp"
@@ -144,9 +145,11 @@ PointOutcome check_property(CheckKind kind, const lb::LinearConstruction& c,
   throw InvariantError("check_property: not a property check");
 }
 
-std::int64_t solve_branch(const lb::LinearConstruction& c, bool yes_branch,
-                          std::size_t trials, std::uint64_t seed) {
+SolveResult solve_branch(const lb::LinearConstruction& c, bool yes_branch,
+                         std::size_t trials, std::uint64_t seed,
+                         const DeadlineToken* deadline) {
   const lb::GadgetParams& p = c.params();
+  SolveResult res;
   graph::Weight best = 0;
   for (std::size_t trial = 0; trial < trials; ++trial) {
     Rng rng(hash_mix(seed, trial, yes_branch ? 1 : 0));
@@ -156,10 +159,20 @@ std::int64_t solve_branch(const lb::LinearConstruction& c, bool yes_branch,
             : comm::make_pairwise_disjoint(p.k, c.num_players(), rng, 0.4);
     // Full engine, single-threaded: the campaign already parallelizes
     // across jobs, so nesting worker pools here would only oversubscribe.
-    best = std::max(best,
-                    maxis::solve_maxis(c.instantiate(inst)).solution.weight);
+    maxis::EngineOptions eopts;
+    eopts.deadline = deadline;
+    const maxis::EngineResult r = maxis::solve_maxis(c.instantiate(inst), eopts);
+    best = std::max(best, r.solution.weight);
+    if (r.approximate) res.approximate = true;
+    if (deadline != nullptr && deadline->expired()) {
+      // Remaining trials would each be cancelled at their first node; the
+      // max over the trials run so far is still a certified lower bound.
+      res.approximate = true;
+      break;
+    }
   }
-  return static_cast<std::int64_t>(best);
+  res.opt = static_cast<std::int64_t>(best);
+  return res;
 }
 
 PointOutcome check_claim(CheckKind kind, const ResolvedPoint& p,

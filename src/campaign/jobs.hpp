@@ -25,6 +25,10 @@
 #include "lowerbound/linear_family.hpp"
 #include "lowerbound/params.hpp"
 
+namespace congestlb {
+class DeadlineToken;
+}
+
 namespace congestlb::campaign {
 
 /// A GridPoint with k resolved to the concrete universe size the gadget
@@ -70,6 +74,10 @@ struct PointOutcome {
   std::int64_t bound_yes = 0;
   std::int64_t bound_no = 0;
   bool holds = false;  ///< check stages only
+  /// A deadline cancelled part of the work that produced this outcome: the
+  /// values are certified lower bounds, not necessarily the true OPTs.
+  /// Approximate outcomes are never cached and never honored on resume.
+  bool approximate = false;
 };
 
 /// Build the fixed construction for a point from scratch (the cold path).
@@ -111,11 +119,22 @@ PointOutcome build_outcome(const lb::LinearConstruction& c);
 PointOutcome check_property(CheckKind kind, const lb::LinearConstruction& c,
                             std::uint64_t seed, std::size_t sample_budget);
 
+/// Result of solving one promise branch. When a deadline fired, `opt` is
+/// the best certified incumbent found before cancellation (a lower bound on
+/// the true max) and `approximate` is set.
+struct SolveResult {
+  std::int64_t opt = -1;
+  bool approximate = false;
+};
+
 /// Max exact OPT over `trials` instance draws of one promise branch
 /// (trial seeds hash-derived from `seed`). Densities match
-/// bench_gap_linear: 0.3 intersecting, 0.4 disjoint.
-std::int64_t solve_branch(const lb::LinearConstruction& c, bool yes_branch,
-                          std::size_t trials, std::uint64_t seed);
+/// bench_gap_linear: 0.3 intersecting, 0.4 disjoint. `deadline` (may be
+/// null) cooperatively cancels the underlying engine searches; once it has
+/// fired, remaining trials are skipped and the result is approximate.
+SolveResult solve_branch(const lb::LinearConstruction& c, bool yes_branch,
+                         std::size_t trials, std::uint64_t seed,
+                         const DeadlineToken* deadline = nullptr);
 
 /// Claim verdict from solver outcomes + the closed-form bounds (no graph
 /// needed — usable when both solves were replayed from a manifest).

@@ -116,12 +116,29 @@ void print_campaign_summary(std::ostream& os, const CampaignResult& result) {
     os << ", " << result.cache.invalid << " invalid slots";
   }
   os << "\n";
+  if (result.retries > 0 || result.jobs_quarantined > 0 ||
+      result.jobs_blocked > 0) {
+    os << "faults: " << result.retries << " retries, "
+       << result.jobs_quarantined << " quarantined, " << result.jobs_blocked
+       << " blocked\n";
+    for (const JobRecord& r : result.records) {
+      if (r.verdict == "quarantined") {
+        os << "  quarantined " << r.id << " after " << r.attempts
+           << (r.attempts == 1 ? " attempt" : " attempts") << ": "
+           << r.diagnostic << "\n";
+      }
+    }
+  }
+  const char* outcome = "run incomplete";
+  if (result.all_hold) {
+    outcome = "ALL CLAIMS HOLD";
+  } else if (result.jobs_quarantined > 0 || result.jobs_blocked > 0) {
+    outcome = "DEGRADED (quarantined jobs)";
+  } else if (result.complete) {
+    outcome = "VIOLATIONS PRESENT";
+  }
   os << "checks: " << result.checks_holding << "/" << result.checks
-     << " hold — "
-     << (result.all_hold
-             ? "ALL CLAIMS HOLD"
-             : (result.complete ? "VIOLATIONS PRESENT" : "run incomplete"))
-     << "\n";
+     << " hold — " << outcome << "\n";
 }
 
 }  // namespace congestlb::campaign

@@ -101,6 +101,9 @@ void WorkStealingScheduler::worker_loop(std::size_t w) {
       continue;
     }
     if (done_.load(std::memory_order_acquire) == jobs_.size()) return;
+    // Emergency drain (coordinator unwinding): exit once there is nothing
+    // poppable rather than waiting on a done_ count that may never arrive.
+    if (halt_.load(std::memory_order_acquire)) return;
     // No local or stealable work but the DAG is not drained: another worker
     // is running a job whose completion will release more. Sleep with a
     // timeout — the timeout (rather than precise wakeup bookkeeping) keeps
@@ -133,11 +136,27 @@ WorkStealingScheduler::Report WorkStealingScheduler::run(
   if (!jobs_.empty()) {
     std::vector<std::thread> workers;
     workers.reserve(num_threads_ - 1);
+    // RAII join: whatever unwinds out of the coordinator loop (a lock
+    // failure, an invariant check), every spawned worker is signalled to
+    // halt and joined before run() exits — an exception can strand
+    // abandoned jobs, but never a thread, and never reach std::terminate.
+    // On the normal path the coordinator only returns once the DAG is
+    // drained, so the halt flag is moot and this is a plain join.
+    struct Joiner {
+      WorkStealingScheduler* self;
+      std::vector<std::thread>* threads;
+      ~Joiner() {
+        self->halt_.store(true, std::memory_order_release);
+        self->wait_cv_.notify_all();
+        for (std::thread& th : *threads) {
+          if (th.joinable()) th.join();
+        }
+      }
+    } joiner{this, &workers};
     for (std::size_t w = 1; w < num_threads_; ++w) {
       workers.emplace_back([this, w] { worker_loop(w); });
     }
     worker_loop(0);
-    for (std::thread& th : workers) th.join();
   }
 
   CLB_EXPECT(done_.load() == jobs_.size(),

@@ -70,6 +70,11 @@ class WorkStealingScheduler {
   /// (in-flight jobs finish; the rest are abandoned). The first job
   /// exception is rethrown here after the drain. Single-shot: run() may
   /// only be called once per scheduler.
+  ///
+  /// Exception safety: a throwing job flips the scheduler into abandon
+  /// mode (never std::terminate), and the spawned workers are joined via
+  /// RAII even if the coordinator loop itself throws — run() never leaks a
+  /// thread, whatever unwinds through it.
   Report run(std::size_t max_executed = 0);
 
  private:
@@ -101,6 +106,10 @@ class WorkStealingScheduler {
   std::atomic<std::size_t> done_{0};
   std::atomic<std::size_t> issued_{0};
   std::atomic<bool> abandon_{false};
+  /// Emergency drain: set by the RAII joiner when run() unwinds past the
+  /// coordinator loop, so workers exit as soon as they run out of poppable
+  /// work instead of waiting for a done_ count that may never arrive.
+  std::atomic<bool> halt_{false};
   std::size_t max_executed_ = 0;
   bool started_ = false;
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "maxis/bitset.hpp"
+#include "support/deadline.hpp"
 #include "support/expect.hpp"
 
 namespace congestlb::maxis {
@@ -235,6 +236,11 @@ Kernel::Kernel(const graph::Graph& g, const KernelOptions& opts)
 
   bool changed = n > 0;
   while (changed) {
+    // Deadline check between passes only: a pass is O(n + m)-ish, coarse
+    // enough that per-pass granularity bounds overrun without paying a
+    // clock read inside the rule scans. Stopping here is sound — see
+    // KernelOptions::deadline.
+    if (opts.deadline != nullptr && opts.deadline->expired()) break;
     changed = false;
     ++stats_.passes;
 

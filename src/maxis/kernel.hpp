@@ -46,6 +46,10 @@
 
 #include "graph/graph.hpp"
 
+namespace congestlb {
+class DeadlineToken;
+}
+
 namespace congestlb::maxis {
 
 using graph::NodeId;
@@ -72,6 +76,13 @@ struct KernelOptions {
   /// Vertices above it are only eligible for the linear-cost rules
   /// (isolated, degree-1, twin). 0 = no cap.
   std::size_t max_rule_degree = 64;
+  /// Cooperative cancellation (support/deadline.hpp): checked between
+  /// pipeline passes. A cancelled run stops at the last completed pass —
+  /// the truncated kernel is still *exact* (every journaled decision is a
+  /// sound reduction; stopping early only leaves the instance larger), so
+  /// cancellation here never taints correctness, it just hands the search
+  /// more graph.
+  const DeadlineToken* deadline = nullptr;
 };
 
 /// True when at least one reduction rule can fire on g — checked directly

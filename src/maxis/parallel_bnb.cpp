@@ -14,6 +14,7 @@
 #include "maxis/branch_and_bound.hpp"
 #include "maxis/local_search.hpp"
 #include "obs/metrics.hpp"
+#include "support/deadline.hpp"
 #include "support/expect.hpp"
 
 namespace congestlb::maxis {
@@ -147,7 +148,8 @@ struct JobSpec {
 struct JobOutcome {
   Weight best = 0;            ///< max(bound_in, best found in the subtree)
   bool improved = false;      ///< best > bound_in (chosen is then valid)
-  bool aborted = false;       ///< node cap hit (probe mode only)
+  bool aborted = false;       ///< node cap hit (probe mode only) or cancel
+  bool cancelled = false;     ///< deadline token observed (subtree partial)
   std::vector<char> chosen;   ///< order-position membership of the best IS
   std::uint64_t nodes = 0;    ///< search nodes visited
 };
@@ -172,9 +174,9 @@ class SubtreeSearch {
   /// the traversal order and the cap are fixed. Otherwise exhaustion
   /// throws, matching the seed solver's budget contract.
   SubtreeSearch(const ComponentContext& cx, std::uint64_t max_nodes,
-                bool stop_on_budget)
+                bool stop_on_budget, const DeadlineToken* deadline = nullptr)
       : cx_(&cx), max_nodes_(max_nodes), stop_on_budget_(stop_on_budget),
-        n_(cx.n()), nw_(cx.nw()) {
+        deadline_(deadline), n_(cx.n()), nw_(cx.nw()) {
     cand_stack_.assign((n_ + 1) * nw_, 0);
     cover_cand_.assign(nw_, 0);
     cover_common_.assign(nw_, 0);
@@ -202,12 +204,14 @@ class SubtreeSearch {
     best_ = bound_in;
     improved_ = false;
     aborted_ = false;
+    cancelled_ = false;
     nodes_ = 0;
     recurse(0, spec.acc, 0);
     JobOutcome out;
     out.best = best_;
     out.improved = improved_;
     out.aborted = aborted_;
+    out.cancelled = cancelled_;
     out.nodes = nodes_;
     if (improved_) {
       out.chosen.assign(best_chosen_.begin(), best_chosen_.end());
@@ -298,6 +302,15 @@ class SubtreeSearch {
     while (true) {
       if (aborted_) return;
       ++nodes_;
+      // Cancellation outranks the budget contract: a cancelled search
+      // never throws, even in stop_on_budget=false (fanout job) mode — it
+      // unwinds with its incumbent and the caller flags the result
+      // approximate.
+      if (deadline_ != nullptr && deadline_->poll(nodes_)) {
+        aborted_ = true;
+        cancelled_ = true;
+        return;
+      }
       if (max_nodes_ != 0 && nodes_ > max_nodes_) {
         CLB_EXPECT(stop_on_budget_,
                    "solver engine: per-job search-node budget exhausted");
@@ -334,6 +347,7 @@ class SubtreeSearch {
   const ComponentContext* cx_;
   std::uint64_t max_nodes_;
   bool stop_on_budget_;
+  const DeadlineToken* deadline_;
   std::size_t n_;
   std::size_t nw_;
   std::vector<std::uint64_t> cand_stack_;
@@ -347,6 +361,7 @@ class SubtreeSearch {
   Weight best_ = 0;
   bool improved_ = false;
   bool aborted_ = false;
+  bool cancelled_ = false;
   std::uint64_t nodes_ = 0;
 };
 
@@ -417,7 +432,9 @@ EngineResult solve_maxis(const graph::Graph& g, const EngineOptions& opts) {
   std::optional<Kernel> kernel;
   const graph::Graph* search_graph = &g;
   if (opts.kernelize && kernelizable(g)) {
-    kernel.emplace(g);
+    KernelOptions kopts;
+    kopts.deadline = opts.deadline;
+    kernel.emplace(g, kopts);
     res.kernel = kernel->stats();
     // Identity kernel (nothing fired): search the input graph directly and
     // skip the unfold.
@@ -465,9 +482,11 @@ EngineResult solve_maxis(const graph::Graph& g, const EngineOptions& opts) {
         (opts.max_search_nodes == 0 ||
          opts.probe_search_nodes < opts.max_search_nodes);
     if (probe_on) {
-      SubtreeSearch probe(*plan.cx, opts.probe_search_nodes, true);
+      SubtreeSearch probe(*plan.cx, opts.probe_search_nodes, true,
+                          opts.deadline);
       plan.probe =
           probe.run(whole_component_spec(*plan.cx), plan.warm.weight);
+      if (plan.probe.cancelled) res.approximate = true;
     } else {
       plan.probe.aborted = true;  // skip straight to the fanout
     }
@@ -493,7 +512,8 @@ EngineResult solve_maxis(const graph::Graph& g, const EngineOptions& opts) {
   }
   const auto run_flat = [&](std::size_t c, std::size_t j) {
     const ComponentPlan& plan = plans[c];
-    SubtreeSearch search(*plan.cx, opts.max_search_nodes, false);
+    SubtreeSearch search(*plan.cx, opts.max_search_nodes, false,
+                         opts.deadline);
     JobOutcome out = search.run(plan.jobs[j], plan.bound);
     // Publish to the shared incumbent: relaxed max-CAS. The final value is
     // the max over all jobs — independent of publish order.
@@ -560,6 +580,7 @@ EngineResult solve_maxis(const graph::Graph& g, const EngineOptions& opts) {
   }
   for (std::size_t k = 0; k < total_jobs; ++k) {
     res.search_nodes += outcomes[k].nodes;
+    if (outcomes[k].cancelled) res.approximate = true;
   }
   res.components = num_comps;
   res.jobs = total_jobs;
@@ -589,6 +610,7 @@ EngineResult solve_maxis(const graph::Graph& g, const EngineOptions& opts) {
     m.counter("maxis.engine.jobs").add(res.jobs);
     m.counter("maxis.engine.search_nodes").add(res.search_nodes);
     m.counter("maxis.engine.steals").add(res.steals);
+    if (res.approximate) m.counter("maxis.engine.cancelled").inc();
   }
   return res;
 }

@@ -87,6 +87,16 @@ struct EngineOptions {
   /// Optional sink for maxis.kernel.* rule hit-counts and maxis.engine.*
   /// job/steal counters (serial update after the pool drains).
   obs::MetricsRegistry* metrics = nullptr;
+  /// Cooperative cancellation (support/deadline.hpp). The kernelization
+  /// checks it between passes and every search polls it per node (a relaxed
+  /// atomic load; the clock only every DeadlineToken::kClockStride nodes).
+  /// A cancelled solve stops promptly and returns its best incumbent so far
+  /// — still a *certified* independent set of the original graph, flagged
+  /// EngineResult::approximate because it may not be maximum. Cancellation
+  /// timing is inherently scheduling-dependent, so a cancelled solve is
+  /// outside the bit-identity determinism contract (an uncancelled solve
+  /// with a deadline that never fires is not).
+  const DeadlineToken* deadline = nullptr;
 };
 
 struct EngineResult {
@@ -97,6 +107,10 @@ struct EngineResult {
   std::uint64_t steals = 0;        ///< pool steals (volatile; see header)
   KernelStats kernel;              ///< rule hit counts (zero if kernelize off)
   std::size_t kernel_nodes = 0;    ///< vertices surviving into the search
+  /// True when EngineOptions::deadline cancelled any search: `solution` is
+  /// a certified independent set (checked() on the original graph) but its
+  /// weight is a lower bound on OPT, not necessarily OPT itself.
+  bool approximate = false;
 };
 
 /// Exact maximum-weight independent set via the full engine. Requires

@@ -1,0 +1,27 @@
+#include "support/deadline.hpp"
+
+#include "support/expect.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb {
+
+std::uint64_t backoff_delay_us(std::uint64_t seed, std::size_t attempt,
+                               std::uint64_t base_us, std::uint64_t cap_us) {
+  CLB_EXPECT(base_us >= 1, "backoff: base_us must be >= 1");
+  CLB_EXPECT(cap_us >= base_us, "backoff: cap_us must be >= base_us");
+  // Envelope base * 2^attempt, saturating at the cap (the shift would
+  // overflow long before a plausible cap, so clamp by division instead).
+  std::uint64_t envelope = cap_us;
+  if (attempt < 64 && (cap_us >> attempt) > base_us) {
+    envelope = base_us << attempt;
+  }
+  // Uniform jitter in [envelope/2, envelope]: full decorrelation across
+  // jobs (seed) and attempts, while never collapsing below half the
+  // envelope — retries always back off, they just don't march in lockstep.
+  const std::uint64_t lo = envelope / 2;
+  Rng rng(hash_mix(seed, attempt));
+  return lo + rng.below(envelope - lo + 1);
+}
+
+}  // namespace congestlb

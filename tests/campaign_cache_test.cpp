@@ -131,8 +131,8 @@ TEST(CampaignCache, WarmGadgetBitIdenticalToCold) {
     if (clb::fnv1a64(cmp::serialize_gadget(warm)) != clb::fnv1a64(payload)) {
       return "payload digests differ";
     }
-    const std::int64_t cold_opt = cmp::solve_branch(cold, true, 1, seed);
-    const std::int64_t warm_opt = cmp::solve_branch(warm, true, 1, seed);
+    const std::int64_t cold_opt = cmp::solve_branch(cold, true, 1, seed).opt;
+    const std::int64_t warm_opt = cmp::solve_branch(warm, true, 1, seed).opt;
     if (cold_opt != warm_opt) {
       return "OPT differs between cold and rehydrated gadget";
     }

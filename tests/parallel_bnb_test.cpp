@@ -15,6 +15,7 @@
 #include "maxis/branch_and_bound.hpp"
 #include "maxis/parallel_bnb.hpp"
 #include "property_harness.hpp"
+#include "support/deadline.hpp"
 #include "support/expect.hpp"
 #include "support/rng.hpp"
 
@@ -208,6 +209,52 @@ TEST(SolverEngine, OptionValidation) {
   bad = {};
   bad.fanout = 0;
   EXPECT_THROW(solve_maxis(g, bad), InvariantError);
+}
+
+// ------------------------------------------------------------- deadlines --
+
+TEST(SolverEngine, CancelledDeadlineReturnsCertifiedIncumbent) {
+  // A solve whose deadline already fired still returns a *verified*
+  // independent set (the warm-start incumbent at worst), flagged
+  // approximate — cancellation decides when to stop, never what the
+  // answer is.
+  const graph::Graph g = gadget(false, 0);
+  const Weight opt = solve_maxis(g).solution.weight;
+
+  DeadlineToken cancelled;
+  cancelled.cancel();
+  EngineOptions opts;
+  opts.deadline = &cancelled;
+  const EngineResult partial = solve_maxis(g, opts);
+  EXPECT_TRUE(partial.approximate);
+  EXPECT_LE(partial.solution.weight, opt);
+  // Certified: independent on the original graph, weight consistent.
+  Weight sum = 0;
+  for (std::size_t i = 0; i < partial.solution.nodes.size(); ++i) {
+    sum += g.weight(partial.solution.nodes[i]);
+    for (std::size_t j = i + 1; j < partial.solution.nodes.size(); ++j) {
+      EXPECT_FALSE(
+          g.has_edge(partial.solution.nodes[i], partial.solution.nodes[j]));
+    }
+  }
+  EXPECT_EQ(sum, partial.solution.weight);
+}
+
+TEST(SolverEngine, GenerousDeadlineDoesNotPerturbResults) {
+  // An armed deadline that never fires stays inside the bit-identity
+  // contract: same solution, weight, and search_nodes as no deadline.
+  const graph::Graph g = gadget(true, 1);
+  const EngineResult base = solve_maxis(g, fanout_options(1));
+  DeadlineToken generous(std::chrono::minutes(10));
+  for (const std::size_t threads : {1u, 8u}) {
+    EngineOptions opts = fanout_options(threads);
+    opts.deadline = &generous;
+    const EngineResult got = solve_maxis(g, opts);
+    EXPECT_FALSE(got.approximate);
+    EXPECT_EQ(got.solution.nodes, base.solution.nodes);
+    EXPECT_EQ(got.solution.weight, base.solution.weight);
+    EXPECT_EQ(got.search_nodes, base.search_nodes);
+  }
 }
 
 TEST(SolverEngine, SearchBudgetEnforced) {
