@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/rng.hpp"
+#include "support/simd.hpp"
 
 namespace clb = congestlb;
 
@@ -314,6 +316,117 @@ BENCHMARK(BM_EngineSteadyRoundTraced)
     ->Args({1024, 1})
     ->Args({1024, 4});
 
+// ------------------------------------------------ SIMD kernel variants --
+// One row per (kernel, level) for every level this build + CPU supports,
+// registered dynamically in main (BM_SimdPack/scalar, BM_SimdPack/avx2,
+// ...). The scalar rows double as the portable baseline that
+// check_bench_regression.py holds the fallback path to.
+
+/// Multi-field payload packing through the level's pack_bits (the
+/// MessageWriter::put hot loop).
+void BM_SimdPack(benchmark::State& state, clb::simd::Level level) {
+  static constexpr std::size_t kWidths[] = {16, 7, 33, 12, 64, 5, 24, 9};
+  std::size_t total_bits = 0;
+  for (std::size_t w : kWidths) total_bits += w;
+  const std::size_t bytes = (total_bits + 7) / 8 + clb::simd::kPackSlackBytes;
+  std::vector<std::byte> buf(bytes);
+  const clb::simd::ScopedLevel forced(level);
+  const clb::simd::Kernels& k = clb::simd::kernels();
+  std::uint64_t s = 1;
+  for (auto _ : state) {
+    std::memset(buf.data(), 0, bytes);
+    std::size_t pos = 0;
+    for (std::size_t width : kWidths) {
+      const std::uint64_t value =
+          (s++ * 0x9E3779B97F4A7C15ULL) &
+          (width == 64 ? ~0ULL : (1ULL << width) - 1);
+      k.pack_bits(buf.data(), pos, value, width);
+      pos += width;
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(std::size(kWidths)));
+}
+
+/// Bulk delivery accounting over 16Ki directed slots (the network.cpp
+/// fault-free fast path: delivered count, bits total, per-slot bits).
+void BM_SimdDeliverAccount(benchmark::State& state, clb::simd::Level level) {
+  constexpr std::size_t kSlots = 16384;
+  std::vector<std::uint8_t> kinds(kSlots);
+  std::vector<std::uint32_t> bits(kSlots);
+  std::vector<std::uint64_t> acc(kSlots, 0);
+  clb::Rng rng(11);
+  for (std::size_t i = 0; i < kSlots; ++i) {
+    kinds[i] = rng.chance(0.8) ? 1 : 0;
+    bits[i] = kinds[i] != 0 ? 16 : 0;
+  }
+  const clb::simd::ScopedLevel forced(level);
+  const clb::simd::Kernels& k = clb::simd::kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.count_nonzero_u8(kinds.data(), kSlots));
+    benchmark::DoNotOptimize(k.sum_u32(bits.data(), kSlots));
+    k.accumulate_u32_to_u64(acc.data(), bits.data(), kSlots);
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kSlots));
+}
+
+/// Candidate-row intersection + clique-cover domination probe on 4096-word
+/// rows (the BnB inner loop at scale).
+void BM_SimdIntersectPopcount(benchmark::State& state,
+                              clb::simd::Level level) {
+  constexpr std::size_t kWords = 4096;
+  clb::Rng rng(42);
+  std::vector<std::uint64_t> a(kWords), b(kWords), dst(kWords);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    a[w] = rng.next();
+    b[w] = rng.next() | rng.next();
+  }
+  const clb::simd::ScopedLevel forced(level);
+  const clb::simd::Kernels& k = clb::simd::kernels();
+  for (auto _ : state) {
+    k.and_rows(dst.data(), a.data(), b.data(), kWords);
+    benchmark::DoNotOptimize(k.and_popcount(dst.data(), b.data(), kWords));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWords));
+}
+
+/// First-set-bit scan over a mostly-empty 4096-word row (the branching
+/// vertex pick on a sparse candidate set).
+void BM_SimdFirstBitScan(benchmark::State& state, clb::simd::Level level) {
+  constexpr std::size_t kWords = 4096;
+  std::vector<std::uint64_t> row(kWords, 0);
+  row[kWords - 3] = 1ULL << 17;
+  const clb::simd::ScopedLevel forced(level);
+  const clb::simd::Kernels& k = clb::simd::kernels();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(k.first_bit(row.data(), kWords, kWords * 64));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kWords));
+}
+
+/// Register one row per supported level for each SIMD kernel bench.
+void register_simd_benchmarks() {
+  using clb::simd::Level;
+  for (Level level : {Level::kScalar, Level::kAvx2, Level::kAvx512}) {
+    if (!clb::simd::level_supported(level)) continue;
+    const std::string suffix = clb::simd::level_name(level);
+    benchmark::RegisterBenchmark(("BM_SimdPack/" + suffix).c_str(),
+                                 BM_SimdPack, level);
+    benchmark::RegisterBenchmark(("BM_SimdDeliverAccount/" + suffix).c_str(),
+                                 BM_SimdDeliverAccount, level);
+    benchmark::RegisterBenchmark(
+        ("BM_SimdIntersectPopcount/" + suffix).c_str(),
+        BM_SimdIntersectPopcount, level);
+    benchmark::RegisterBenchmark(("BM_SimdFirstBitScan/" + suffix).c_str(),
+                                 BM_SimdFirstBitScan, level);
+  }
+}
+
 }  // namespace
 
 // Custom main: unless the caller chose their own output file, mirror the
@@ -331,6 +444,7 @@ int main(int argc, char** argv) {
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
+  register_simd_benchmarks();
   int args_count = static_cast<int>(args.size());
   benchmark::Initialize(&args_count, args.data());
   if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {

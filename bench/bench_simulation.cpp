@@ -18,8 +18,10 @@
 // machine-readable perf record that scripts/check_bench_regression.py
 // compares against bench/baselines/ in CI (see docs/PERFORMANCE.md).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -36,6 +38,7 @@
 #include "sim/reduction.hpp"
 #include "support/alloc_hook.hpp"
 #include "support/json.hpp"
+#include "support/simd.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -201,8 +204,106 @@ EngineRow measure_runs(const std::string& name, const clb::graph::Graph& g,
   return row;
 }
 
+// ------------------------------------------- SIMD pack/deliver kernels --
+
+/// The SWAR/vector layer's hot-path speedup gate: in a full run on
+/// SIMD-capable hardware, at least one pack/deliver kernel row must beat
+/// the scalar reference by this factor or the bench exits nonzero.
+constexpr double kSimdKernelGate = 1.5;
+
+struct SimdKernelRow {
+  std::string name;
+  std::string variant;  ///< "scalar" or the vector level actually run
+  std::size_t slots = 0;
+  std::size_t rounds = 0;
+  double ns_per_round = 0;
+};
+
+/// One simulated round of payload packing: every directed slot writes one
+/// multi-field message through the active pack_bits kernel — the
+/// MessageWriter hot loop without the engine around it. The widths mirror
+/// the universal algorithm's multi-field payloads (ids, weights, flags at
+/// arbitrary bit offsets), which is where the word-window packer beats the
+/// byte loop hardest.
+SimdKernelRow measure_pack_kernel(clb::simd::Level level, std::size_t slots,
+                                  std::size_t rounds) {
+  static constexpr std::size_t kWidths[] = {16, 7, 33, 12, 64, 5, 24, 9};
+  std::size_t total_bits = 0;
+  for (std::size_t w : kWidths) total_bits += w;
+  const std::size_t bytes =
+      (total_bits + 7) / 8 + clb::simd::kPackSlackBytes;
+  std::vector<std::byte> buf(bytes);
+
+  const clb::simd::ScopedLevel forced(level);
+  const clb::simd::Kernels& k = clb::simd::kernels();
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t s = 0; s < slots; ++s) {
+      std::memset(buf.data(), 0, bytes);
+      std::size_t pos = 0;
+      std::size_t f = 0;
+      for (std::size_t width : kWidths) {
+        const std::uint64_t value =
+            (s * 0x9E3779B97F4A7C15ULL + f++) &
+            (width == 64 ? ~0ULL : (1ULL << width) - 1);
+        k.pack_bits(buf.data(), pos, value, width);
+        pos += width;
+      }
+      sink += static_cast<std::uint64_t>(buf[bytes - 9]);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (sink == 0xDEAD) std::cout << "";  // keep the packed bytes observable
+
+  SimdKernelRow row;
+  row.name = "pack-kernel/multifield";
+  row.variant = clb::simd::level_name(level);
+  row.slots = slots;
+  row.rounds = rounds;
+  row.ns_per_round = elapsed_ns(t0, t1) / static_cast<double>(rounds);
+  return row;
+}
+
+/// One simulated round of bulk delivery accounting over `slots` directed
+/// slots: delivered count over the kind bytes, delivered-bits total, and
+/// the per-slot bits accumulation — exactly the fast path network.cpp runs
+/// per shard per round.
+SimdKernelRow measure_deliver_kernel(clb::simd::Level level,
+                                     std::size_t slots, std::size_t rounds) {
+  std::vector<std::uint8_t> kinds(slots);
+  std::vector<std::uint32_t> bits(slots);
+  std::vector<std::uint64_t> acc(slots, 0);
+  clb::Rng rng(11);
+  for (std::size_t i = 0; i < slots; ++i) {
+    kinds[i] = rng.chance(0.8) ? 1 : 0;
+    bits[i] = kinds[i] != 0 ? 16 : 0;
+  }
+
+  const clb::simd::ScopedLevel forced(level);
+  const clb::simd::Kernels& k = clb::simd::kernels();
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    sink += k.count_nonzero_u8(kinds.data(), slots);
+    sink += k.sum_u32(bits.data(), slots);
+    k.accumulate_u32_to_u64(acc.data(), bits.data(), slots);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (sink == 0xDEAD) std::cout << "";
+
+  SimdKernelRow row;
+  row.name = "deliver-account/bulk";
+  row.variant = clb::simd::level_name(level);
+  row.slots = slots;
+  row.rounds = rounds;
+  row.ns_per_round = elapsed_ns(t0, t1) / static_cast<double>(rounds);
+  return row;
+}
+
 /// Runs the engine-throughput suite and writes BENCH_simulation.json.
-void engine_throughput_section(std::size_t timed_rounds,
+/// Returns false when the full-run SIMD kernel gate fails.
+bool engine_throughput_section(std::size_t timed_rounds,
                                std::size_t mis_repeats) {
   clb::print_heading(std::cout,
                      "engine throughput (ns/round; see BENCH_simulation.json)");
@@ -248,6 +349,23 @@ void engine_throughput_section(std::size_t timed_rounds,
     }
   }
 
+  // SIMD pack/deliver kernel rows: the same hot-path work, scalar table vs
+  // the best level this build + CPU supports (identical when the machine
+  // is scalar-only). Slot count matches the gnp-1024 flood's directed
+  // slots, so the rows are read in the same units as flood/gnp-1024.
+  const std::size_t kernel_slots = 2 * gnp.num_edges();
+  const std::size_t kernel_rounds = timed_rounds;
+  const clb::simd::Level best = clb::simd::best_level();
+  std::vector<SimdKernelRow> kernel_rows;
+  for (const clb::simd::Level level :
+       {clb::simd::Level::kScalar, best}) {
+    kernel_rows.push_back(
+        measure_pack_kernel(level, kernel_slots, kernel_rounds));
+    kernel_rows.push_back(
+        measure_deliver_kernel(level, kernel_slots, kernel_rounds));
+    if (best == clb::simd::Level::kScalar) break;  // one variant only
+  }
+
   Table t({"workload", "n", "edges", "threads", "ns/round", "messages/s",
            "bits/s", "allocs/round"});
   for (const auto& r : rows) {
@@ -260,6 +378,14 @@ void engine_throughput_section(std::size_t timed_rounds,
   t.print(std::cout);
   std::cout << "  (allocs/round counts heap allocations via the counting "
                "allocator; steady-state flood must be 0)\n";
+
+  Table kt({"kernel", "variant", "slots", "ns/round"});
+  for (const auto& r : kernel_rows) {
+    kt.add_row({r.name, r.variant, std::to_string(r.slots),
+                clb::fmt_double(r.ns_per_round, 0)});
+  }
+  std::cout << "\n";
+  kt.print(std::cout);
 
   std::ofstream out("BENCH_simulation.json");
   clb::JsonWriter jw(out);
@@ -283,6 +409,16 @@ void engine_throughput_section(std::size_t timed_rounds,
     jw.kv("allocs_per_round", r.allocs_per_round);
     jw.end_object();
   }
+  for (const auto& r : kernel_rows) {
+    jw.begin_object();
+    jw.kv("name", r.name);
+    jw.kv("variant", r.variant);
+    jw.kv("threads", std::uint64_t{1});
+    jw.kv("slots", static_cast<std::uint64_t>(r.slots));
+    jw.kv("rounds", static_cast<std::uint64_t>(r.rounds));
+    jw.kv("ns_per_round", r.ns_per_round);
+    jw.end_object();
+  }
   jw.end_array();
   jw.key("seed_comparison");
   jw.begin_array();
@@ -294,6 +430,21 @@ void engine_throughput_section(std::size_t timed_rounds,
       jw.kv("seed_ns_per_round", ref.ns_per_round);
       jw.kv("ns_per_round", r.ns_per_round);
       jw.kv("improvement", ref.ns_per_round / r.ns_per_round);
+      jw.end_object();
+    }
+  }
+  // Scalar-vs-SIMD delta per kernel row (both variants measured in this
+  // same run, unlike the frozen seed references above).
+  for (const auto& scalar : kernel_rows) {
+    if (scalar.variant != "scalar") continue;
+    for (const auto& vec : kernel_rows) {
+      if (vec.name != scalar.name || vec.variant == "scalar") continue;
+      jw.begin_object();
+      jw.kv("name", scalar.name);
+      jw.kv("simd_level", vec.variant);
+      jw.kv("scalar_ns_per_round", scalar.ns_per_round);
+      jw.kv("ns_per_round", vec.ns_per_round);
+      jw.kv("improvement", scalar.ns_per_round / vec.ns_per_round);
       jw.end_object();
     }
   }
@@ -327,6 +478,35 @@ void engine_throughput_section(std::size_t timed_rounds,
                 << "%\n";
     }
   }
+
+  // SIMD kernel gate: on SIMD-capable hardware the vector variant of at
+  // least one pack/deliver row must hold kSimdKernelGate over scalar.
+  // Full runs only — smoke windows on shared CI runners are too noisy,
+  // and scalar-only machines have nothing to compare (their fallback is
+  // instead held to the baseline by check_bench_regression.py).
+  bool simd_gate_ok = true;
+  if (best != clb::simd::Level::kScalar) {
+    double best_speedup = 0;
+    for (const auto& scalar : kernel_rows) {
+      if (scalar.variant != "scalar") continue;
+      for (const auto& vec : kernel_rows) {
+        if (vec.name != scalar.name || vec.variant == "scalar") continue;
+        const double speedup = scalar.ns_per_round / vec.ns_per_round;
+        best_speedup = std::max(best_speedup, speedup);
+        std::cout << "  simd speedup, " << scalar.name << " ("
+                  << vec.variant << "): " << clb::fmt_double(speedup, 2)
+                  << "x vs scalar\n";
+      }
+    }
+    const bool smoke = std::getenv("CLB_BENCH_SMOKE") != nullptr;
+    if (!smoke && best_speedup < kSimdKernelGate) {
+      std::cerr << "FAILED: best SIMD kernel speedup "
+                << clb::fmt_double(best_speedup, 2) << "x < "
+                << kSimdKernelGate << "x gate\n";
+      simd_gate_ok = false;
+    }
+  }
+  return simd_gate_ok;
 }
 
 }  // namespace
@@ -461,9 +641,14 @@ int main() {
   // Small shapes when CLB_BENCH_SMOKE is set (the CI smoke job); full
   // windows otherwise.
   const bool smoke = std::getenv("CLB_BENCH_SMOKE") != nullptr;
-  engine_throughput_section(/*timed_rounds=*/smoke ? 64 : 512,
-                            /*mis_repeats=*/smoke ? 2 : 8);
+  const bool simd_gate_ok =
+      engine_throughput_section(/*timed_rounds=*/smoke ? 64 : 512,
+                                /*mis_repeats=*/smoke ? 2 : 8);
 
+  if (!simd_gate_ok) {
+    std::cerr << "\nFAILED: SIMD kernel speedup gate not met\n";
+    return 1;
+  }
   std::cout << "\nSimulation experiments completed.\n";
   return 0;
 }

@@ -4,9 +4,15 @@
 Usage:
     scripts/check_bench_regression.py <measured.json> <baseline.json> [--factor F]
 
-Entries are matched by (name, threads); the timing metric is ns_per_round
-(simulation benches) or ns_per_solve (solver benches), whichever the entry
-carries. The check fails (exit 1) when any matched entry's metric exceeds
+Two input schemas are understood: clb-bench-v1 (an "entries" array, timing
+in ns_per_round / ns_per_solve) and google-benchmark's own JSON (a
+"benchmarks" array, timing in real_time + time_unit — the BENCH_micro.json
+format). Entries are matched by (name, variant, threads), where variant
+distinguishes rows measured under different kernel implementations (the
+SIMD dispatch levels: "scalar", "avx2", "avx512") — each variant is
+compared against its own baseline independently, so a vector-kernel
+speedup can never mask a scalar-fallback regression or vice versa. The
+check fails (exit 1) when any matched entry's metric exceeds
 factor * baseline (default 2x), or when a steady-state flood workload
 reports nonzero allocations per round. Individual entries present on only
 one side are reported but do not fail the check, so adding or renaming
@@ -26,23 +32,45 @@ import json
 import sys
 
 
+# google-benchmark time_unit values, normalized to nanoseconds.
+_TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
 def load_entries(path):
     with open(path) as f:
         doc = json.load(f)
     entries = {}
+    if "benchmarks" in doc:
+        # google-benchmark's own JSON (BENCH_micro.json): one row per
+        # benchmark run; skip aggregate rows (mean/median/stddev) so only
+        # raw iterations are compared. The time metric is real_time in
+        # time_unit; normalize to ns under the clb metric name so the
+        # comparison below is schema-agnostic.
+        for e in doc.get("benchmarks", []):
+            if e.get("run_type", "iteration") != "iteration":
+                continue
+            ns = e.get("real_time")
+            if ns is not None:
+                ns *= _TIME_UNIT_NS.get(e.get("time_unit", "ns"), 1.0)
+            entries[(e.get("name", "?"), "", 1)] = {
+                "name": e.get("name", "?"),
+                "ns_per_round": ns,
+            }
+        return entries
     for e in doc.get("entries", []):
-        # Entries are keyed by (name, threads); rows from newer bench
-        # families (e.g. BENCH_campaign.json) may omit "threads" or carry
-        # no ns_per_round at all — key them anyway so they show up as
-        # "new", never as a crash.
-        entries[(e.get("name", "?"), e.get("threads", 1))] = e
+        # Entries are keyed by (name, variant, threads); rows from newer
+        # bench families (e.g. BENCH_campaign.json) may omit "threads" or
+        # carry no ns_per_round at all — key them anyway so they show up
+        # as "new", never as a crash.
+        entries[(e.get("name", "?"), e.get("variant", ""),
+                 e.get("threads", 1))] = e
     return entries
 
 
 def metric_ns(entry):
     """The entry's timing metric: ns_per_round or ns_per_solve."""
     for field in ("ns_per_round", "ns_per_solve"):
-        if field in entry:
+        if field in entry and entry[field] is not None:
             return entry[field]
     return None
 
@@ -82,7 +110,8 @@ def main():
             failures.append(
                 f"{key}: {got_ns:.0f} ns vs baseline "
                 f"{base_ns:.0f} ({ratio:.2f}x > {args.factor}x)")
-        print(f"{key[0]} (threads={key[1]}): {got_ns:.0f} ns, "
+        variant = f" [{key[1]}]" if key[1] else ""
+        print(f"{key[0]}{variant} (threads={key[2]}): {got_ns:.0f} ns, "
               f"{ratio:.2f}x baseline -> {status}")
     if comparable > 0 and compared == 0:
         failures.append(

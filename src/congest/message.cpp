@@ -5,16 +5,23 @@
 
 #include "support/expect.hpp"
 #include "support/hash.hpp"
+#include "support/simd.hpp"
 
 namespace congestlb::congest {
+
+// The pack/unpack kernels address up to simd::kPackSlackBytes past the
+// payload; PayloadBytes over-allocates every buffer by kSlackBytes.
+static_assert(PayloadBytes::kSlackBytes >= simd::kPackSlackBytes);
 
 void PayloadBytes::ensure_capacity(std::size_t n) {
   if (n <= capacity_) return;
   std::size_t cap = capacity_ * 2;
   if (cap < n) cap = n;
-  auto* buf = new std::byte[cap];
+  // kSlackBytes extra, zero-filled: the word-window bit packers address (but
+  // never visibly modify) up to 8 bytes past the payload.
+  auto* buf = new std::byte[cap + kSlackBytes];
   std::memcpy(buf, data(), size_);
-  std::memset(buf + size_, 0, cap - size_);
+  std::memset(buf + size_, 0, cap + kSlackBytes - size_);
   delete[] heap_;
   heap_ = buf;
   capacity_ = cap;
@@ -38,10 +45,10 @@ void PayloadBytes::assign(const std::byte* src, std::size_t n) {
 }
 
 void PayloadBytes::swap(PayloadBytes& other) noexcept {
-  std::byte tmp[kInlineCapacity];
-  std::memcpy(tmp, inline_, kInlineCapacity);
-  std::memcpy(inline_, other.inline_, kInlineCapacity);
-  std::memcpy(other.inline_, tmp, kInlineCapacity);
+  std::byte tmp[sizeof inline_];
+  std::memcpy(tmp, inline_, sizeof inline_);
+  std::memcpy(inline_, other.inline_, sizeof inline_);
+  std::memcpy(other.inline_, tmp, sizeof inline_);
   std::swap(heap_, other.heap_);
   std::swap(size_, other.size_);
   std::swap(capacity_, other.capacity_);
@@ -58,18 +65,14 @@ MessageWriter& MessageWriter::put(std::uint64_t value, std::size_t width) {
     CLB_EXPECT(value < (1ULL << width),
                "MessageWriter: value does not fit in declared width");
   }
-  // Byte-wise append, LSB-first within and across bytes (the layout the
-  // bit-by-bit reference in fuzz_test checks against).
+  // LSB-first append within and across bytes (the layout the bit-by-bit
+  // reference in fuzz_test checks against), via the dispatched packer: the
+  // scalar level is the historical byte loop, the vector levels a single
+  // word-window read-modify-write into PayloadBytes' slack-padded buffer.
   const std::size_t end_bit = bits_ + width;
   const std::size_t need = (end_bit + 7) / 8;
   if (need > data_.size()) data_.resize(need);  // new bytes are zeroed
-  std::byte* bytes = data_.data();
-  std::size_t byte_i = bits_ / 8;
-  const std::size_t shift = bits_ % 8;
-  bytes[byte_i] |= static_cast<std::byte>((value << shift) & 0xFF);
-  for (std::size_t written = 8 - shift; written < width; written += 8) {
-    bytes[++byte_i] |= static_cast<std::byte>((value >> written) & 0xFF);
-  }
+  simd::kernels().pack_bits(data_.data(), bits_, value, width);
   bits_ = end_bit;
   return *this;
 }
@@ -84,14 +87,8 @@ Message MessageWriter::finish() && {
 std::uint64_t MessageReader::get(std::size_t width) {
   CLB_EXPECT(width >= 1 && width <= 64, "MessageReader: width in [1,64]");
   CLB_EXPECT(pos_ + width <= msg_->bits, "MessageReader: read past end");
-  const std::byte* bytes = msg_->data.data();
-  std::size_t byte_i = pos_ / 8;
-  const std::size_t shift = pos_ % 8;
-  std::uint64_t value = static_cast<std::uint64_t>(bytes[byte_i]) >> shift;
-  for (std::size_t got = 8 - shift; got < width; got += 8) {
-    value |= static_cast<std::uint64_t>(bytes[++byte_i]) << got;
-  }
-  if (width < 64) value &= (1ULL << width) - 1;
+  const std::uint64_t value =
+      simd::kernels().unpack_bits(msg_->data.data(), pos_, width);
   pos_ += width;
   return value;
 }

@@ -27,6 +27,15 @@ class PayloadBytes {
  public:
   static constexpr std::size_t kInlineCapacity = 24;
 
+  /// Slack bytes allocated past every buffer's capacity (inline and heap),
+  /// never part of size(): the SIMD bit packers (support/simd.hpp,
+  /// Kernels::pack_bits) read-modify-write whole 8-byte windows plus a
+  /// spill byte, so MessageWriter/MessageReader need
+  /// simd::kPackSlackBytes addressable bytes beyond the payload. The
+  /// window stores bytes beyond the payload back unchanged, so slack
+  /// contents are never observable.
+  static constexpr std::size_t kSlackBytes = 8;
+
   PayloadBytes() = default;
   PayloadBytes(const PayloadBytes& other) { assign(other.data(), other.size_); }
   PayloadBytes(PayloadBytes&& other) noexcept { swap(other); }
@@ -82,7 +91,7 @@ class PayloadBytes {
  private:
   void ensure_capacity(std::size_t n);
 
-  std::byte inline_[kInlineCapacity] = {};
+  std::byte inline_[kInlineCapacity + kSlackBytes] = {};
   std::byte* heap_ = nullptr;  ///< engaged once capacity spills past inline
   std::size_t size_ = 0;
   std::size_t capacity_ = kInlineCapacity;

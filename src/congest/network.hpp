@@ -414,13 +414,23 @@ class Network {
   std::vector<std::uint8_t> echo_kind_;
   std::vector<Message> echo_msgs_;
   std::vector<std::uint64_t> dbits_;  ///< delivered bits per directed slot
+  /// Per-slot bits delivered *this round* (0 for empty slots), filled by the
+  /// fault-free unobserved deliver fast path so message/bit counters and
+  /// dbits_ accumulate as bulk SIMD passes instead of per-slot adds. Scratch
+  /// only — not consulted by the observed/faulted paths.
+  std::vector<std::uint32_t> in_bits_;
 
   std::vector<std::uint8_t> was_crashed_;  ///< crash state last round
   std::vector<std::uint8_t> crashed_now_;  ///< crash state this round
 
   ThreadPool pool_;
   std::size_t num_shards_ = 1;
-  std::vector<std::pair<NodeId, NodeId>> shard_range_;  ///< [begin, end) nodes
+  /// Contiguous [begin, end) node ranges from edge_tiled_shards
+  /// (topology.hpp): boundaries balance directed-slot counts, not node
+  /// counts, so high-degree gadget vertices don't skew shard load. A pure
+  /// function of the topology — determinism across thread counts holds
+  /// regardless of the partition.
+  std::vector<std::pair<NodeId, NodeId>> shard_range_;
   std::vector<ShardCounters> shard_;
   std::vector<std::exception_ptr> shard_error_;
 

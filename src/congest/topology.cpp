@@ -38,4 +38,37 @@ std::shared_ptr<const Topology> Topology::build(const graph::Graph& g) {
   return topo;
 }
 
+std::vector<std::pair<NodeId, NodeId>> edge_tiled_shards(
+    const Topology& topo, std::size_t num_shards) {
+  if (num_shards == 0) num_shards = 1;
+  const std::size_t n = topo.n;
+  // Prefix cost of the first v nodes: directed slots + one unit per node.
+  // offsets[v] + v is strictly increasing, so each boundary is a binary
+  // search for the first prefix at or past the shard's proportional target.
+  const auto prefix_cost = [&](std::size_t v) { return topo.offsets[v] + v; };
+  const std::size_t total = prefix_cost(n);
+  std::vector<std::pair<NodeId, NodeId>> ranges(num_shards);
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    std::size_t end = n;
+    if (s + 1 < num_shards) {
+      const std::size_t target = total * (s + 1) / num_shards;
+      std::size_t lo = begin;
+      std::size_t hi = n;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (prefix_cost(mid) < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      end = lo;
+    }
+    ranges[s] = {static_cast<NodeId>(begin), static_cast<NodeId>(end)};
+    begin = end;
+  }
+  return ranges;
+}
+
 }  // namespace congestlb::congest

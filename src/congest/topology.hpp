@@ -51,4 +51,19 @@ struct Topology {
   static std::shared_ptr<const Topology> build(const graph::Graph& g);
 };
 
+/// Edge-tiled shard partition: `num_shards` contiguous [begin, end) node
+/// ranges whose boundaries balance per-shard cost, where node v costs
+/// degree(v) + 1 — directed message slots dominate both engine phases, the
+/// +1 keeps degree-0 nodes from all landing in one shard's compute phase.
+/// Unlike an equal-node split, a high-degree gadget hub (the clique/biclique
+/// blocks of the paper's F_x̄/G_x̄ constructions) gets a shard of its own
+/// instead of skewing whichever shard its id falls into.
+///
+/// A pure function of (topology, num_shards) — never of thread scheduling —
+/// so the parallel round executor built on it stays bit-identical to serial
+/// for every thread count. Shards may be empty; ranges cover [0, n) in
+/// order.
+std::vector<std::pair<NodeId, NodeId>> edge_tiled_shards(
+    const Topology& topo, std::size_t num_shards);
+
 }  // namespace congestlb::congest

@@ -26,18 +26,26 @@ class Reducer {
     alive_.assign(nw_, 0);
     scratch_.assign(nw_, 0);
     weight_.resize(n_);
+    deg_.resize(n_);
     for (NodeId v = 0; v < n_; ++v) {
       weight_[v] = g.weight(v);
       CLB_EXPECT(weight_[v] >= 0, "kernelize requires nonnegative weights");
       words::set_bit(alive_.data(), v);
       for (NodeId u : g.neighbors(v)) words::set_bit(row(v), u);
+      // Seeded from the materialized row (not g.degree) so the cache is
+      // exactly the row popcount it replaces, whatever the input held.
+      deg_[v] = words::popcount(row(v), nw_);
     }
   }
 
   std::size_t n() const { return n_; }
   Weight weight(NodeId v) const { return weight_[v]; }
   bool alive(NodeId v) const { return words::test_bit(alive_.data(), v); }
-  std::size_t degree(NodeId v) const { return words::popcount(row(v), nw_); }
+
+  /// Cached degree, maintained incrementally by remove() — every rule pass
+  /// probes degrees, so recomputing the row popcount per call would be the
+  /// pipeline's largest cost on dense instances.
+  std::size_t degree(NodeId v) const { return deg_[v]; }
 
   const std::uint64_t* row(NodeId v) const { return rows_.data() + v * nw_; }
   std::uint64_t* row(NodeId v) { return rows_.data() + v * nw_; }
@@ -61,9 +69,13 @@ class Reducer {
   }
 
   void remove(NodeId x) {
-    for_each_neighbor(x, [&](NodeId y) { words::clear_bit(row(y), x); });
+    for_each_neighbor(x, [&](NodeId y) {
+      words::clear_bit(row(y), x);
+      --deg_[y];
+    });
     std::uint64_t* r = row(x);
     for (std::size_t w = 0; w < nw_; ++w) r[w] = 0;
+    deg_[x] = 0;
     words::clear_bit(alive_.data(), x);
   }
 
@@ -105,6 +117,7 @@ class Reducer {
   std::vector<std::uint64_t> alive_;
   std::vector<std::uint64_t> scratch_;
   std::vector<Weight> weight_;
+  std::vector<std::size_t> deg_;  ///< live degree per vertex (see degree())
 };
 
 /// True when some reduction rule could fire on g, checked directly against

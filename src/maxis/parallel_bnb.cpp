@@ -109,7 +109,7 @@ class ComponentContext {
       clique_members_.push_back(static_cast<std::uint32_t>(v));
       c[cw] &= c[cw] - 1;
       const std::uint64_t* av = row(v);
-      for (std::size_t w = cw; w < nw_; ++w) common[w] = c[w] & av[w];
+      words::and_rows(common.data() + cw, c.data() + cw, av + cw, nw_ - cw);
       std::size_t mw = cw;
       while (true) {
         while (mw < nw_ && common[mw] == 0) ++mw;
@@ -120,7 +120,8 @@ class ComponentContext {
         words::clear_bit(c.data(), u);
         common[mw] &= common[mw] - 1;
         const std::uint64_t* au = row(u);
-        for (std::size_t w = mw; w < nw_; ++w) common[w] &= au[w];
+        words::and_rows(common.data() + mw, common.data() + mw, au + mw,
+                        nw_ - mw);
       }
       clique_off_.push_back(clique_members_.size());
     }
@@ -277,7 +278,7 @@ class SubtreeSearch {
       Weight mx = cx_->weight(v);
       c[cw] &= c[cw] - 1;
       const std::uint64_t* av = adj_row(v);
-      for (std::size_t w = cw; w < nw_; ++w) common[w] = c[w] & av[w];
+      words::and_rows(common + cw, c + cw, av + cw, nw_ - cw);
       std::size_t mw = cw;
       while (true) {
         while (mw < nw_ && common[mw] == 0) ++mw;
@@ -289,7 +290,7 @@ class SubtreeSearch {
         words::clear_bit(c, u);
         common[mw] &= common[mw] - 1;
         const std::uint64_t* au = adj_row(u);
-        for (std::size_t w = mw; w < nw_; ++w) common[w] &= au[w];
+        words::and_rows(common + mw, common + mw, au + mw, nw_ - mw);
       }
       bound += mx;
       ++cnt;

@@ -1,0 +1,132 @@
+#include "support/simd.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/expect.hpp"
+
+namespace congestlb::simd {
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool level_compiled(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return detail::scalar_table() != nullptr;
+    case Level::kAvx2:
+      return detail::avx2_table() != nullptr;
+    case Level::kAvx512:
+      return detail::avx512_table() != nullptr;
+  }
+  return false;
+}
+
+namespace {
+
+bool cpu_supports(Level level) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Level::kAvx512:
+      // The avx512 table uses vpopcntq (VPOPCNTDQ, Ice Lake+) besides the
+      // F/BW/DQ/VL core; a Skylake-X class CPU falls back to AVX2.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0 &&
+             __builtin_cpu_supports("avx512vl") != 0 &&
+             __builtin_cpu_supports("avx512vpopcntdq") != 0;
+  }
+  return false;
+#else
+  return level == Level::kScalar;
+#endif
+}
+
+}  // namespace
+
+bool level_supported(Level level) {
+  return level_compiled(level) && cpu_supports(level);
+}
+
+Level best_level() {
+  if (level_supported(Level::kAvx512)) return Level::kAvx512;
+  if (level_supported(Level::kAvx2)) return Level::kAvx2;
+  return Level::kScalar;
+}
+
+const Kernels* kernels_for(Level level) {
+  if (!level_supported(level)) return nullptr;
+  switch (level) {
+    case Level::kScalar:
+      return detail::scalar_table();
+    case Level::kAvx2:
+      return detail::avx2_table();
+    case Level::kAvx512:
+      return detail::avx512_table();
+  }
+  return nullptr;
+}
+
+Level active_level() { return kernels().level; }
+
+namespace detail {
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels& resolve_active() {
+  Level level = best_level();
+  if (const char* env = std::getenv("CLB_SIMD");
+      env != nullptr && *env != '\0') {
+    const std::string want(env);
+    if (want == "scalar") {
+      level = Level::kScalar;
+    } else if (want == "avx2") {
+      level = Level::kAvx2;
+    } else if (want == "avx512") {
+      level = Level::kAvx512;
+    } else {
+      CLB_EXPECT(want == "auto",
+                 "CLB_SIMD must be scalar|avx2|avx512|auto, got \"" + want +
+                     "\"");
+    }
+    // An explicitly requested level the build or CPU cannot run fails
+    // loudly: silently degrading would invalidate any measurement the
+    // override was set up for.
+    CLB_EXPECT(level_supported(level),
+               std::string("CLB_SIMD=") + want +
+                   " requested but this build/CPU does not support it");
+  }
+  const Kernels* table = kernels_for(level);
+  g_active.store(table, std::memory_order_relaxed);
+  return *table;
+}
+
+}  // namespace detail
+
+ScopedLevel::ScopedLevel(Level level) {
+  const Kernels* table = kernels_for(level);
+  CLB_EXPECT(table != nullptr,
+             std::string("ScopedLevel: level \"") + level_name(level) +
+                 "\" is not supported on this build/CPU");
+  saved_ = &kernels();  // resolve CLB_SIMD first so the restore is stable
+  detail::g_active.store(table, std::memory_order_relaxed);
+}
+
+ScopedLevel::~ScopedLevel() {
+  detail::g_active.store(saved_, std::memory_order_relaxed);
+}
+
+}  // namespace congestlb::simd
