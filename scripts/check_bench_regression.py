@@ -19,7 +19,10 @@ one side are reported but do not fail the check, so adding or renaming
 workloads does not require a lockstep baseline update — but when *every*
 baseline row is missing from the measured run, the comparison is vacuous
 (wrong file, renamed family, empty run) and the check fails rather than
-passing on zero comparisons.
+passing on zero comparisons. A file that matches *neither* schema — no
+"benchmarks" and no "entries" array, or a clb document declaring an
+unknown "schema" marker — is a hard error (exit 2), never a silent pass:
+a renamed baseline key must break CI, not disable it.
 
 The baseline in bench/baselines/ is deliberately generous: it exists to
 catch order-of-magnitude engine regressions on shared CI runners, not to
@@ -35,10 +38,21 @@ import sys
 # google-benchmark time_unit values, normalized to nanoseconds.
 _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
+# The clb schema marker this checker understands; documents that declare a
+# different one are from a future (or foreign) writer and must not be
+# silently compared.
+_CLB_SCHEMA = "clb-bench-v1"
+
+
+class SchemaError(Exception):
+    """The input file is not a bench JSON this checker understands."""
+
 
 def load_entries(path):
     with open(path) as f:
         doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise SchemaError(f"{path}: top level is not a JSON object")
     entries = {}
     if "benchmarks" in doc:
         # google-benchmark's own JSON (BENCH_micro.json): one row per
@@ -57,7 +71,26 @@ def load_entries(path):
                 "ns_per_round": ns,
             }
         return entries
-    for e in doc.get("entries", []):
+    if "entries" not in doc:
+        # A document with neither array is from an unknown schema (renamed
+        # keys, truncated write, wrong file). Silently returning zero
+        # entries here used to make the whole comparison vacuous — and the
+        # vacuous-pass guard below never fires when the *baseline* is the
+        # empty side. Fail loudly instead.
+        raise SchemaError(
+            f"{path}: unrecognized bench schema — expected a 'benchmarks' "
+            f"(google-benchmark) or 'entries' ({_CLB_SCHEMA}) array; "
+            f"found top-level keys {sorted(doc)}")
+    declared = doc.get("schema", _CLB_SCHEMA)
+    if declared != _CLB_SCHEMA:
+        raise SchemaError(
+            f"{path}: declares schema {declared!r}; this checker only "
+            f"understands {_CLB_SCHEMA!r}")
+    if not isinstance(doc["entries"], list):
+        raise SchemaError(f"{path}: 'entries' is not an array")
+    for e in doc["entries"]:
+        if not isinstance(e, dict):
+            raise SchemaError(f"{path}: entry {e!r} is not an object")
         # Entries are keyed by (name, variant, threads); rows from newer
         # bench families (e.g. BENCH_campaign.json) may omit "threads" or
         # carry no ns_per_round at all — key them anyway so they show up
@@ -83,8 +116,12 @@ def main():
                         help="fail when measured ns/round > factor * baseline")
     args = parser.parse_args()
 
-    measured = load_entries(args.measured)
-    baseline = load_entries(args.baseline)
+    try:
+        measured = load_entries(args.measured)
+        baseline = load_entries(args.baseline)
+    except SchemaError as err:
+        print(f"Benchmark regression check FAILED: {err}", file=sys.stderr)
+        return 2
 
     failures = []
     compared = 0

@@ -42,6 +42,11 @@ bool is_claim(CheckKind kind) {
   return kind == CheckKind::kClaim12 || kind == CheckKind::kClaim35;
 }
 
+bool is_algorithm(CheckKind kind) {
+  return kind == CheckKind::kApproxSweep ||
+         kind == CheckKind::kBlackboardSweep;
+}
+
 /// One node of the expanded job DAG. Everything here — ids, seeds, input
 /// hashes, dependency edges — is derived purely from the spec, before any
 /// job runs; the scheduler only decides *when*, never *what*.
@@ -53,6 +58,8 @@ struct ExpandedJob {
   std::uint64_t seed = 0;
   std::size_t trials = 0;
   std::size_t sample_budget = 0;
+  std::size_t eps_num = 1;  ///< algorithm sweeps only
+  std::size_t eps_den = 4;
   std::size_t gadget_idx = 0;     ///< shared built-construction slot
   std::size_t point_slot = kNone; ///< claim sweeps: solve-result slot
   std::uint64_t inputs_hash = 0;
@@ -112,12 +119,21 @@ Expansion expand(const CampaignSpec& spec) {
         c.point = p;
         c.seed = hash_mix(spec.seed, sweep_hash, pi, 3);
         c.sample_budget = sweep.sample_budget;
+        c.eps_num = sweep.eps_num;
+        c.eps_den = sweep.eps_den;
         c.gadget_idx = x.jobs[build].gadget_idx;
-        c.inputs_hash = fnv1a64(gkey + "|check=" +
-                                std::string(to_string(sweep.check)) +
-                                "|seed=" + std::to_string(c.seed) +
-                                "|budget=" +
-                                std::to_string(sweep.sample_budget));
+        std::string hash_src = gkey + "|check=" +
+                               std::string(to_string(sweep.check)) +
+                               "|seed=" + std::to_string(c.seed) +
+                               "|budget=" +
+                               std::to_string(sweep.sample_budget);
+        // Algorithm checks bind eps (kkss) into the verdict identity, so a
+        // retargeted sweep invalidates exactly its own records.
+        if (is_algorithm(sweep.check)) {
+          hash_src += "|eps=" + std::to_string(sweep.eps_num) + "/" +
+                      std::to_string(sweep.eps_den);
+        }
+        c.inputs_hash = fnv1a64(hash_src);
         c.deps = {build};
         push(std::move(c));
         continue;
@@ -177,6 +193,12 @@ std::string outcome_payload(CheckKind kind, const PointOutcome& o) {
   if (is_claim(kind)) {
     os << "yes_opt=" << o.yes_opt << ";no_opt=" << o.no_opt
        << ";bound_yes=" << o.bound_yes << ";bound_no=" << o.bound_no;
+  } else if (is_algorithm(kind)) {
+    os << "alg_weight=" << o.alg_weight << ";opt=" << o.opt
+       << ";bound_no=" << o.bound_no << ";rounds=" << o.rounds
+       << ";round_bound=" << o.round_bound << ";bits=" << o.bits
+       << ";checked=" << o.checked << ";nodes=" << o.nodes
+       << ";edges=" << o.edges;
   } else {
     os << "checked=" << o.checked << ";min_matching=" << o.min_matching
        << ";max_shared=" << o.max_shared;
@@ -222,6 +244,20 @@ PointOutcome parse_outcome_payload(const std::string& payload) {
       o.bound_yes = v;
     } else if (key == "bound_no") {
       o.bound_no = v;
+    } else if (key == "alg_weight") {
+      o.alg_weight = v;
+    } else if (key == "opt") {
+      o.opt = v;
+    } else if (key == "rounds") {
+      o.rounds = static_cast<std::uint64_t>(v);
+    } else if (key == "round_bound") {
+      o.round_bound = static_cast<std::uint64_t>(v);
+    } else if (key == "bits") {
+      o.bits = static_cast<std::uint64_t>(v);
+    } else if (key == "nodes") {
+      o.nodes = static_cast<std::uint64_t>(v);
+    } else if (key == "edges") {
+      o.edges = static_cast<std::uint64_t>(v);
     } else if (key == "holds") {
       o.holds = v != 0;
     } else {
@@ -500,6 +536,10 @@ CampaignResult run_campaign(const CampaignSpec& spec, const RunOptions& opts,
                   const Slot& s = slots[e.point_slot];
                   work.outcome = check_claim(e.check, e.point, s.yes, s.no);
                   work.outcome.approximate = s.yes_approx || s.no_approx;
+                } else if (is_algorithm(e.check)) {
+                  work.outcome =
+                      check_algorithm(e.check, ensure_built(e.gadget_idx),
+                                      e.seed, e.eps_num, e.eps_den);
                 } else {
                   work.outcome =
                       check_property(e.check, ensure_built(e.gadget_idx),
@@ -652,6 +692,19 @@ void write_manifest(std::ostream& os, const CampaignResult& result,
     } else if (r.stage == "solve-yes" || r.stage == "solve-no") {
       w.kv("opt", o.opt);
       if (o.approximate) w.kv("approximate", true);
+    } else if (o.alg_weight >= 0) {
+      // Algorithm-sweep check: the gap-sandwich record. alg_weight >= 0 is
+      // the marker (claim/property checks never set it), so pre-existing
+      // manifests keep their exact field set.
+      w.kv("checked", o.checked);
+      w.kv("alg_weight", o.alg_weight);
+      w.kv("opt", o.opt);
+      w.kv("bound_no", o.bound_no);
+      w.kv("rounds", o.rounds);
+      w.kv("round_bound", o.round_bound);
+      w.kv("bits", o.bits);
+      w.kv("nodes", o.nodes);
+      w.kv("edges", o.edges);
     } else {
       w.kv("checked", o.checked);
       w.kv("min_matching", o.min_matching);
@@ -735,6 +788,12 @@ ParsedManifest read_manifest(std::string_view json_text) {
     if (const JsonValue* v = d.find("no_opt")) o.no_opt = v->as_i64();
     if (const JsonValue* v = d.find("bound_yes")) o.bound_yes = v->as_i64();
     if (const JsonValue* v = d.find("bound_no")) o.bound_no = v->as_i64();
+    if (const JsonValue* v = d.find("alg_weight")) o.alg_weight = v->as_i64();
+    if (const JsonValue* v = d.find("rounds")) o.rounds = v->as_u64();
+    if (const JsonValue* v = d.find("round_bound")) {
+      o.round_bound = v->as_u64();
+    }
+    if (const JsonValue* v = d.find("bits")) o.bits = v->as_u64();
     if (const JsonValue* v = d.find("approximate")) {
       o.approximate = v->as_bool();
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "campaign/approx_sweep.hpp"
 #include "comm/instances.hpp"
 #include "graph/io.hpp"
 #include "graph/matching.hpp"
@@ -140,9 +141,60 @@ PointOutcome check_property(CheckKind kind, const lb::LinearConstruction& c,
     }
     case CheckKind::kClaim12:
     case CheckKind::kClaim35:
+    case CheckKind::kApproxSweep:
+    case CheckKind::kBlackboardSweep:
       break;
   }
   throw InvariantError("check_property: not a property check");
+}
+
+PointOutcome check_algorithm(CheckKind kind, const lb::LinearConstruction& c,
+                             std::uint64_t seed, std::size_t eps_num,
+                             std::size_t eps_den) {
+  const graph::Graph& g = c.fixed_graph();
+  PointOutcome out;
+  out.nodes = g.num_nodes();
+  out.edges = g.num_edges();
+  switch (kind) {
+    case CheckKind::kApproxSweep: {
+      const ApproxBenchRow row =
+          measure_approx_row(g, "gadget", eps_num, eps_den, seed);
+      out.alg_weight = row.alg_weight;
+      out.opt = row.opt_exact;
+      out.bound_no = row.opt_upper;
+      out.rounds = row.rounds;
+      out.round_bound = row.round_bound;
+      out.bits = row.bits;
+      out.checked = 1;
+      out.holds = row.holds;
+      return out;
+    }
+    case CheckKind::kBlackboardSweep: {
+      // Both protocols, players = t (the gadget's natural party count).
+      const auto rows =
+          measure_blackboard_rows(g, "gadget", c.num_players(), seed);
+      bool holds = true;
+      for (const ApproxBenchRow& row : rows) holds = holds && row.holds;
+      // Recorded legs: the Luby run (the interesting tradeoff point); the
+      // full-revelation legs are pinned by its exact-bit holds check.
+      const ApproxBenchRow& luby = rows.back();
+      out.alg_weight = luby.alg_weight;
+      out.bound_no = luby.opt_upper;
+      out.rounds = luby.rounds;
+      out.round_bound = luby.round_bound;
+      out.bits = luby.bits;
+      out.checked = rows.size();
+      out.holds = holds;
+      return out;
+    }
+    case CheckKind::kProperty1:
+    case CheckKind::kProperty2:
+    case CheckKind::kProperty3:
+    case CheckKind::kClaim12:
+    case CheckKind::kClaim35:
+      break;
+  }
+  throw InvariantError("check_algorithm: not an algorithm check");
 }
 
 SolveResult solve_branch(const lb::LinearConstruction& c, bool yes_branch,

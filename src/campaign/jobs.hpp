@@ -73,6 +73,12 @@ struct PointOutcome {
   std::int64_t no_opt = -1;
   std::int64_t bound_yes = 0;
   std::int64_t bound_no = 0;
+  // algorithm sweeps (kApproxSweep / kBlackboardSweep); alg_weight < 0
+  // means "not an algorithm record" and keeps these out of manifests:
+  std::int64_t alg_weight = -1;   ///< weight the algorithm selected
+  std::uint64_t rounds = 0;       ///< measured rounds
+  std::uint64_t round_bound = 0;  ///< published round envelope
+  std::uint64_t bits = 0;         ///< measured bits sent / posted
   bool holds = false;  ///< check stages only
   /// A deadline cancelled part of the work that produced this outcome: the
   /// values are certified lower bounds, not necessarily the true OPTs.
@@ -140,5 +146,14 @@ SolveResult solve_branch(const lb::LinearConstruction& c, bool yes_branch,
 /// needed — usable when both solves were replayed from a manifest).
 PointOutcome check_claim(CheckKind kind, const ResolvedPoint& p,
                          std::int64_t yes_opt, std::int64_t no_opt);
+
+/// Algorithm-sweep verdict (kApproxSweep / kBlackboardSweep): run the
+/// upper-bound algorithm on the point's fixed gadget graph and evaluate
+/// its full approximation contract — the gap sandwich plus round and bit
+/// envelopes (campaign/approx_sweep.hpp). `opt` records the certified
+/// optimum (or -1), `bound_no` the clique-partition upper bound.
+PointOutcome check_algorithm(CheckKind kind, const lb::LinearConstruction& c,
+                             std::uint64_t seed, std::size_t eps_num,
+                             std::size_t eps_den);
 
 }  // namespace congestlb::campaign

@@ -16,6 +16,8 @@ std::string_view to_string(CheckKind kind) {
     case CheckKind::kProperty3: return "property3";
     case CheckKind::kClaim12: return "claim12";
     case CheckKind::kClaim35: return "claim35";
+    case CheckKind::kApproxSweep: return "approx";
+    case CheckKind::kBlackboardSweep: return "blackboard";
   }
   return "unknown";
 }
@@ -26,6 +28,8 @@ std::optional<CheckKind> check_kind_from_string(std::string_view s) {
   if (s == "property3") return CheckKind::kProperty3;
   if (s == "claim12") return CheckKind::kClaim12;
   if (s == "claim35") return CheckKind::kClaim35;
+  if (s == "approx") return CheckKind::kApproxSweep;
+  if (s == "blackboard") return CheckKind::kBlackboardSweep;
   return std::nullopt;
 }
 
@@ -34,7 +38,12 @@ std::string CampaignSpec::canonical() const {
   os << "campaign=" << name << "|seed=" << seed << "\n";
   for (const SweepSpec& s : sweeps) {
     os << "sweep=" << s.name << "|check=" << to_string(s.check)
-       << "|trials=" << s.trials << "|budget=" << s.sample_budget << ":";
+       << "|trials=" << s.trials << "|budget=" << s.sample_budget;
+    // Appended only when non-default: pre-approx specs hash identically.
+    if (s.eps_num != 1 || s.eps_den != 4) {
+      os << "|eps=" << s.eps_num << "/" << s.eps_den;
+    }
+    os << ":";
     for (const GridPoint& p : s.points) {
       os << " (" << p.ell << "," << p.alpha << "," << p.t << ",";
       if (p.k.has_value()) {
@@ -137,6 +146,14 @@ CampaignSpec parse_campaign_spec(const JsonValue& doc) {
       s.sample_budget = parse_size(*budget, "sample_budget");
       CLB_EXPECT(s.sample_budget >= 1, "campaign sweep: sample_budget >= 1");
     }
+    if (const JsonValue* en = sv.find("eps_num")) {
+      s.eps_num = parse_size(*en, "eps_num");
+    }
+    if (const JsonValue* ed = sv.find("eps_den")) {
+      s.eps_den = parse_size(*ed, "eps_den");
+    }
+    CLB_EXPECT(s.eps_num >= 1 && s.eps_den >= 1,
+               "campaign sweep: eps_num and eps_den must be >= 1");
     if (const JsonValue* grid = sv.find("grid")) expand_grid(*grid, s.points);
     if (const JsonValue* points = sv.find("points")) {
       for (const JsonValue& pv : points->as_array()) {
@@ -180,6 +197,12 @@ void write_campaign_spec(std::ostream& os, const CampaignSpec& spec) {
     jw.kv("check", to_string(s.check));
     jw.kv("trials", static_cast<std::uint64_t>(s.trials));
     jw.kv("sample_budget", static_cast<std::uint64_t>(s.sample_budget));
+    // Emitted only when non-default, mirroring canonical(): pre-approx
+    // specs round-trip to byte-identical documents.
+    if (s.eps_num != 1 || s.eps_den != 4) {
+      jw.kv("eps_num", static_cast<std::uint64_t>(s.eps_num));
+      jw.kv("eps_den", static_cast<std::uint64_t>(s.eps_den));
+    }
     jw.key("points");
     jw.begin_array();
     for (const GridPoint& p : s.points) {
@@ -269,9 +292,49 @@ CampaignSpec builtin_smoke_campaign() {
   return spec;
 }
 
+CampaignSpec builtin_approx_campaign() {
+  CampaignSpec spec;
+  spec.name = "approx_sweep";
+  spec.seed = 2020;
+  // Gadget shapes small enough for branch and bound to certify the
+  // optimum (<= 40 nodes), so every point's gap sandwich closes exactly.
+  const std::vector<GridPoint> shapes = {{2, 1, 2, std::nullopt},
+                                         {2, 1, 3, std::nullopt},
+                                         {3, 1, 2, std::nullopt}};
+  SweepSpec coarse;
+  coarse.name = "A4";
+  coarse.check = CheckKind::kApproxSweep;
+  coarse.points = shapes;
+  SweepSpec fine;
+  fine.name = "A8";
+  fine.check = CheckKind::kApproxSweep;
+  fine.points = shapes;
+  fine.eps_num = 1;
+  fine.eps_den = 8;
+  spec.sweeps = {coarse, fine};
+  return spec;
+}
+
+CampaignSpec builtin_blackboard_campaign() {
+  CampaignSpec spec;
+  spec.name = "blackboard_sweep";
+  spec.seed = 2020;
+  SweepSpec s;
+  s.name = "BB";
+  s.check = CheckKind::kBlackboardSweep;
+  s.points = {{2, 1, 2, std::nullopt},
+              {2, 1, 3, std::nullopt},
+              {3, 1, 2, std::nullopt},
+              {3, 1, 3, std::nullopt}};
+  spec.sweeps = {s};
+  return spec;
+}
+
 std::optional<CampaignSpec> builtin_campaign(std::string_view name) {
   if (name == "paper") return builtin_paper_campaign();
   if (name == "smoke") return builtin_smoke_campaign();
+  if (name == "approx_sweep") return builtin_approx_campaign();
+  if (name == "blackboard_sweep") return builtin_blackboard_campaign();
   return std::nullopt;
 }
 

@@ -35,6 +35,11 @@ enum class CheckKind : std::uint8_t {
   kProperty3,  ///< P3: <= alpha positions host both codewords
   kClaim12,    ///< Claims 1-2 (t = 2): YES >= 4l+2a, NO <= 3l+2a+1
   kClaim35,    ///< Claims 3+5 (general t): YES >= t(2l+a), NO <= (t+1)l+at^2
+  /// Upper-bound algorithm sweeps (docs/ALGORITHMS.md): run the algorithm
+  /// on the point's fixed gadget graph and check its full approximation
+  /// contract (gap sandwich + round/bit envelopes, campaign/approx_sweep).
+  kApproxSweep,      ///< KKSS-style (1+eps)-approximate MaxIS
+  kBlackboardSweep,  ///< Assadi–Kol–Zhang blackboard MIS protocols
 };
 
 std::string_view to_string(CheckKind kind);
@@ -58,6 +63,11 @@ struct SweepSpec {
   std::size_t trials = 2;
   /// Pair-sampling budget for P2/P3 (min(k*(k-1), budget) pairs).
   std::size_t sample_budget = 60;
+  /// Approximation target for kApproxSweep: eps = eps_num / eps_den. The
+  /// defaults are appended to canonical() only when changed, so specs from
+  /// before the approx sweeps keep their content hashes bit for bit.
+  std::size_t eps_num = 1;
+  std::size_t eps_den = 4;
 };
 
 struct CampaignSpec {
@@ -96,7 +106,16 @@ CampaignSpec builtin_paper_campaign();
 /// A CI-sized grid: ell in {2,3}, t in {2,3}, alpha = 1.
 CampaignSpec builtin_smoke_campaign();
 
-/// Look up a built-in spec by name ("paper" or "smoke").
+/// KKSS (1+eps)-approximate MaxIS over small gadget shapes at eps = 1/4
+/// and 1/8 — the BENCH_approx gap-sandwich sweep as a resumable campaign.
+CampaignSpec builtin_approx_campaign();
+
+/// Blackboard MIS protocols (full revelation + shared-seed Luby) over the
+/// same gadget shapes, with exact bit accounting.
+CampaignSpec builtin_blackboard_campaign();
+
+/// Look up a built-in spec by name ("paper", "smoke", "approx_sweep", or
+/// "blackboard_sweep").
 std::optional<CampaignSpec> builtin_campaign(std::string_view name);
 
 }  // namespace congestlb::campaign

@@ -23,6 +23,12 @@ std::string_view sweep_heading(CheckKind kind) {
       return "two players (Claims 1-2): YES >= 4l+2a, NO <= 3l+2a+1";
     case CheckKind::kClaim35:
       return "t players (Claims 3+5): YES >= t(2l+a), NO <= (t+1)l+at^2";
+    case CheckKind::kApproxSweep:
+      return "KKSS (1+eps)-approx MaxIS: alg W <= OPT <= clique UB, "
+             "rounds within envelope";
+    case CheckKind::kBlackboardSweep:
+      return "blackboard MIS (full revelation + Luby): exact bit "
+             "accounting within budget";
   }
   return "?";
 }
@@ -44,6 +50,12 @@ std::vector<std::string> sweep_headers(CheckKind kind) {
     case CheckKind::kClaim35:
       return {"t", "ell", "alpha", "k", "n", "YES OPT", "claim YES>=",
               "NO OPT", "claim NO<=", "separated", "holds"};
+    case CheckKind::kApproxSweep:
+      return {"ell", "alpha", "t", "n", "alg W", "OPT", "clique UB",
+              "rounds", "envelope", "bits", "holds"};
+    case CheckKind::kBlackboardSweep:
+      return {"ell", "alpha", "t", "n", "MIS W", "clique UB",
+              "luby rounds", "<= 2n", "luby bits", "holds"};
   }
   return {};
 }
@@ -96,6 +108,15 @@ void print_campaign_tables(std::ostream& os, const CampaignSpec& spec,
         case CheckKind::kClaim35:
           table.row(p.t, p.ell, p.alpha, p.k, n, o.yes_opt, o.bound_yes,
                     o.no_opt, o.bound_no, o.bound_yes > o.bound_no, o.holds);
+          break;
+        case CheckKind::kApproxSweep:
+          table.row(p.ell, p.alpha, p.t, n, o.alg_weight,
+                    o.opt >= 0 ? std::to_string(o.opt) : std::string("-"),
+                    o.bound_no, o.rounds, o.round_bound, o.bits, o.holds);
+          break;
+        case CheckKind::kBlackboardSweep:
+          table.row(p.ell, p.alpha, p.t, n, o.alg_weight, o.bound_no,
+                    o.rounds, o.round_bound, o.bits, o.holds);
           break;
       }
     }

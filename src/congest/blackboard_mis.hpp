@@ -1,0 +1,61 @@
+// Blackboard MIS protocols in the rounds-vs-communication style of
+// Assadi–Kol–Zhang (arXiv:2209.09049).
+//
+// The graph's vertices are partitioned across t number-in-hand players
+// (vertex v belongs to player v mod t); each player knows its own vertices
+// and every edge incident to them, and all communication goes through the
+// shared comm::Blackboard, so the obs layer accounts every bit exactly
+// (Blackboard::attach_observability). Two points on the tradeoff curve:
+//
+//  - full_revelation_mis: one blackboard round. Every player posts its
+//    half-open incident edges (the owner of the smaller endpoint posts);
+//    everyone then knows the whole graph and computes the same greedy MIS
+//    locally. O(m log n) bits, 1 round — maximal communication, minimal
+//    interaction.
+//
+//  - luby_blackboard_mis: O(log n) expected rounds, O(n log n) bits. Each
+//    phase draws shared per-(phase, vertex) priorities from the seed (free:
+//    every player evaluates the same hash), so a player can mark its own
+//    undecided local-minima without communication; what must be posted is
+//    the *outcome* — winners join the MIS, and owners post which of their
+//    vertices became covered, because no player sees the whole neighborhood
+//    of another player's vertex. Every posted vertex id is posted at most
+//    twice (once as winner, once as covered), which is where the O(n log n)
+//    bound comes from.
+//
+// Both report the blackboard rounds and exact bits consumed, and the
+// returned set is verified maximal and independent before returning.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/blackboard.hpp"
+#include "graph/graph.hpp"
+
+namespace congestlb::congest {
+
+struct BlackboardMisReport {
+  std::vector<graph::NodeId> mis;  ///< sorted; verified maximal independent
+  std::size_t players = 0;
+  std::size_t blackboard_rounds = 0;  ///< synchronous post rounds used
+  std::uint64_t bits_posted = 0;      ///< this protocol's share of board bits
+};
+
+/// One-round full-revelation protocol. Requires players >= 1; posts to
+/// `board` (which may already carry other traffic — only this protocol's
+/// bits are reported). The MIS is the deterministic greedy-by-id MIS of g.
+BlackboardMisReport full_revelation_mis(const graph::Graph& g,
+                                        std::size_t players,
+                                        comm::Blackboard& board);
+
+/// Luby-style protocol: priorities are a pure function of (seed, phase,
+/// vertex), so runs are deterministic and bit-identical for every player
+/// count. Requires players >= 1.
+BlackboardMisReport luby_blackboard_mis(const graph::Graph& g,
+                                        std::size_t players,
+                                        comm::Blackboard& board,
+                                        std::uint64_t seed);
+
+}  // namespace congestlb::congest

@@ -129,91 +129,108 @@ class Reducer {
 /// harmless (the pipeline runs and decides nothing); the checks below are
 /// exact mirrors of the rule predicates, so that does not happen in
 /// practice.
-bool any_rule_applicable(const graph::Graph& g, std::size_t cap) {
+bool any_rule_applicable(const graph::Graph& g, std::size_t cap,
+                         unsigned rules) {
   const std::size_t n = g.num_nodes();
 
   // Isolated / degree-1 fire on degree alone.
   for (NodeId v = 0; v < n; ++v) {
-    if (g.degree(v) <= 1) return true;
+    const std::size_t d = g.degree(v);
+    if ((d == 0 && (rules & kRuleIsolated) != 0) ||
+        (d == 1 && (rules & kRuleDegree1) != 0)) {
+      return true;
+    }
   }
 
   // Twins: two vertices with identical (sorted) neighbor lists. Bucket by
   // a *sampled* signature — degree plus a few probe positions — so the
   // common case touches O(1) of each list instead of hashing all of it;
   // only vertices whose samples collide get the full comparison.
-  std::vector<std::pair<std::uint64_t, NodeId>> sig;
-  sig.reserve(n);
-  for (NodeId v = 0; v < n; ++v) {
-    const auto& nb = g.neighbors(v);
-    const std::size_t d = nb.size();
-    std::uint64_t h = 1469598103934665603ULL;
-    h = (h ^ d) * 1099511628211ULL;
-    for (const std::size_t idx : {std::size_t{0}, d / 3, d / 2, (2 * d) / 3,
-                                  d - 1}) {
-      h = (h ^ (nb[idx] + 1)) * 1099511628211ULL;
+  if ((rules & kRuleTwin) != 0) {
+    std::vector<std::pair<std::uint64_t, NodeId>> sig;
+    sig.reserve(n);
+    for (NodeId v = 0; v < n; ++v) {
+      const auto& nb = g.neighbors(v);
+      const std::size_t d = nb.size();
+      // The pipeline's twin pass skips degree-0 vertices, so mirror that
+      // (and keep nb[d-1] in range when the degree rules are masked off).
+      if (d == 0) continue;
+      std::uint64_t h = 1469598103934665603ULL;
+      h = (h ^ d) * 1099511628211ULL;
+      for (const std::size_t idx :
+           {std::size_t{0}, d / 3, d / 2, (2 * d) / 3, d - 1}) {
+        h = (h ^ (nb[idx] + 1)) * 1099511628211ULL;
+      }
+      sig.emplace_back(h, v);
     }
-    sig.emplace_back(h, v);
-  }
-  std::sort(sig.begin(), sig.end());
-  for (std::size_t lo = 0; lo < sig.size();) {
-    std::size_t hi = lo + 1;
-    while (hi < sig.size() && sig[hi].first == sig[lo].first) ++hi;
-    // All pairs within the run: a sampled hash can collide for non-equal
-    // lists, and a colliding non-twin between two twins must not mask them.
-    for (std::size_t i = lo; i < hi; ++i) {
-      for (std::size_t j = i + 1; j < hi; ++j) {
-        if (g.neighbors(sig[i].second) == g.neighbors(sig[j].second)) {
-          return true;
+    std::sort(sig.begin(), sig.end());
+    for (std::size_t lo = 0; lo < sig.size();) {
+      std::size_t hi = lo + 1;
+      while (hi < sig.size() && sig[hi].first == sig[lo].first) ++hi;
+      // All pairs within the run: a sampled hash can collide for non-equal
+      // lists, and a colliding non-twin between two twins must not mask
+      // them.
+      for (std::size_t i = lo; i < hi; ++i) {
+        for (std::size_t j = i + 1; j < hi; ++j) {
+          if (g.neighbors(sig[i].second) == g.neighbors(sig[j].second)) {
+            return true;
+          }
         }
       }
+      lo = hi;
     }
-    lo = hi;
   }
 
   // Domination and simplicial, restricted (like the pipeline) to vertices
   // with degree <= cap. `mark` holds N[u] for the subset tests.
-  std::vector<std::uint32_t> mark(n, 0);
-  std::uint32_t stamp = 0;
-  for (NodeId u = 0; u < n; ++u) {
-    const auto& nu = g.neighbors(u);
-    if (nu.empty() || nu.size() > cap) continue;
-    ++stamp;
-    mark[u] = stamp;
-    for (const NodeId x : nu) mark[x] = stamp;
+  if ((rules & (kRuleDomination | kRuleSimplicial)) != 0) {
+    std::vector<std::uint32_t> mark(n, 0);
+    std::uint32_t stamp = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& nu = g.neighbors(u);
+      if (nu.empty() || nu.size() > cap) continue;
+      ++stamp;
+      mark[u] = stamp;
+      for (const NodeId x : nu) mark[x] = stamp;
 
-    // Domination drops u when some neighbor v has w(v) >= w(u) and
-    // N(v) \ {u} <= N(u), i.e. N(v) inside the marked N[u].
-    for (const NodeId v : nu) {
-      if (g.weight(v) < g.weight(u)) continue;
-      if (g.degree(v) > nu.size() + 1) continue;  // too big to fit N[u]
-      bool inside = true;
-      for (const NodeId x : g.neighbors(v)) {
-        if (mark[x] != stamp) {
-          inside = false;
-          break;
+      // Domination drops u when some neighbor v has w(v) >= w(u) and
+      // N(v) \ {u} <= N(u), i.e. N(v) inside the marked N[u].
+      if ((rules & kRuleDomination) != 0) {
+        for (const NodeId v : nu) {
+          if (g.weight(v) < g.weight(u)) continue;
+          if (g.degree(v) > nu.size() + 1) continue;  // too big for N[u]
+          bool inside = true;
+          for (const NodeId x : g.neighbors(v)) {
+            if (mark[x] != stamp) {
+              inside = false;
+              break;
+            }
+          }
+          if (inside) return true;
         }
       }
-      if (inside) return true;
-    }
 
-    // Simplicial takes u when it is a heaviest vertex of N[u] and N(u) is
-    // a clique (every pair of neighbors adjacent).
-    bool take = true;
-    for (const NodeId x : nu) {
-      if (g.weight(x) > g.weight(u)) {
-        take = false;
-        break;
-      }
-    }
-    for (std::size_t i = 0; take && i + 1 < nu.size(); ++i) {
-      for (std::size_t j = i + 1; j < nu.size(); ++j) {
-        if (!g.has_edge(nu[i], nu[j])) {
-          take = false;
-          break;
+      // Simplicial takes u when it is a heaviest vertex of N[u] and N(u)
+      // is a clique (every pair of neighbors adjacent).
+      if ((rules & kRuleSimplicial) != 0) {
+        bool take = true;
+        for (const NodeId x : nu) {
+          if (g.weight(x) > g.weight(u)) {
+            take = false;
+            break;
+          }
         }
+        for (std::size_t i = 0; take && i + 1 < nu.size(); ++i) {
+          for (std::size_t j = i + 1; j < nu.size(); ++j) {
+            if (!g.has_edge(nu[i], nu[j])) {
+              take = false;
+              break;
+            }
+          }
+        }
+        if (take) return true;
       }
     }
-    if (take) return true;
   }
   return false;
 }
@@ -225,7 +242,7 @@ bool kernelizable(const graph::Graph& g, const KernelOptions& opts) {
   const std::size_t cap = opts.max_rule_degree == 0
                               ? n + 1
                               : opts.max_rule_degree;
-  return n > 0 && any_rule_applicable(g, cap);
+  return n > 0 && any_rule_applicable(g, cap, opts.rules & kAllKernelRules);
 }
 
 Kernel::Kernel(const graph::Graph& g, const KernelOptions& opts)
@@ -235,10 +252,11 @@ Kernel::Kernel(const graph::Graph& g, const KernelOptions& opts)
   const std::size_t cap = opts.max_rule_degree == 0
                               ? n + 1
                               : opts.max_rule_degree;
+  const unsigned rules = opts.rules & kAllKernelRules;
 
   // Identity fast path: certify on the CSR adjacency that no rule can
   // fire, skipping the word-matrix pipeline entirely.
-  if (n == 0 || !any_rule_applicable(g, cap)) {
+  if (n == 0 || !any_rule_applicable(g, cap, rules)) {
     reduced_ = g;
     survivors_.resize(n);
     std::iota(survivors_.begin(), survivors_.end(), 0);
@@ -261,13 +279,13 @@ Kernel::Kernel(const graph::Graph& g, const KernelOptions& opts)
     for (NodeId v = 0; v < n; ++v) {
       if (!r.alive(v)) continue;
       const std::size_t deg = r.degree(v);
-      if (deg == 0) {
+      if (deg == 0 && (rules & kRuleIsolated) != 0) {
         journal_.push_back({Rule::kTake, v, 0});
         offset_ += r.weight(v);
         r.remove(v);
         ++stats_.isolated;
         changed = true;
-      } else if (deg == 1) {
+      } else if (deg == 1 && (rules & kRuleDegree1) != 0) {
         const NodeId u = r.only_neighbor(v);
         if (r.weight(v) >= r.weight(u)) {
           // Taking v dominates taking u (v conflicts only with u).
@@ -292,7 +310,7 @@ Kernel::Kernel(const graph::Graph& g, const KernelOptions& opts)
     // w(v) >= w(u) — swapping u for v in any solution never loses. Applied
     // one vertex at a time against the live graph, so a mutual (twin-like)
     // pair loses exactly one member.
-    for (NodeId u = 0; u < n; ++u) {
+    for (NodeId u = 0; (rules & kRuleDomination) != 0 && u < n; ++u) {
       if (!r.alive(u) || r.degree(u) > cap) continue;
       bool dropped = false;
       r.for_each_neighbor(u, [&](NodeId v) {
@@ -308,7 +326,7 @@ Kernel::Kernel(const graph::Graph& g, const KernelOptions& opts)
 
     // Simplicial: if N(v) is a clique, any solution uses at most one vertex
     // of N[v]; when v is the heaviest it is always a best pick.
-    for (NodeId v = 0; v < n; ++v) {
+    for (NodeId v = 0; (rules & kRuleSimplicial) != 0 && v < n; ++v) {
       if (!r.alive(v)) continue;
       const std::size_t deg = r.degree(v);
       if (deg == 0 || deg > cap) continue;
@@ -333,7 +351,7 @@ Kernel::Kernel(const graph::Graph& g, const KernelOptions& opts)
 
     // Twins: non-adjacent vertices with identical neighborhoods are in or
     // out together — merge the weights and keep one representative.
-    {
+    if ((rules & kRuleTwin) != 0) {
       std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
       for (NodeId v = 0; v < n; ++v) {
         if (!r.alive(v) || r.degree(v) == 0) continue;

@@ -71,11 +71,29 @@ struct KernelStats {
   }
 };
 
+/// Bitmask selecting which reduction rules may fire (KernelOptions::rules).
+/// Isolated and degree-1 share one scan but gate independently; disabling a
+/// rule never breaks correctness — every subset of rules yields an exact
+/// (possibly larger) kernel, which is what the property tests sweep.
+enum KernelRule : unsigned {
+  kRuleIsolated = 1u << 0,
+  kRuleDegree1 = 1u << 1,  ///< both the take and the fold case
+  kRuleDomination = 1u << 2,
+  kRuleSimplicial = 1u << 3,
+  kRuleTwin = 1u << 4,
+};
+inline constexpr unsigned kAllKernelRules =
+    kRuleIsolated | kRuleDegree1 | kRuleDomination | kRuleSimplicial |
+    kRuleTwin;
+
 struct KernelOptions {
   /// Degree cap for the quadratic-cost rules (domination, simplicial).
   /// Vertices above it are only eligible for the linear-cost rules
   /// (isolated, degree-1, twin). 0 = no cap.
   std::size_t max_rule_degree = 64;
+  /// Enabled rules (OR of KernelRule bits). Bits outside kAllKernelRules
+  /// are ignored.
+  unsigned rules = kAllKernelRules;
   /// Cooperative cancellation (support/deadline.hpp): checked between
   /// pipeline passes. A cancelled run stops at the last completed pass —
   /// the truncated kernel is still *exact* (every journaled decision is a

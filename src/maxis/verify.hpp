@@ -29,4 +29,13 @@ IsSolution checked(const graph::Graph& g, std::vector<NodeId> nodes);
 /// (paper Definition 5 uses w(I) >= OPT/gamma; we report w(I)/OPT in [0,1]).
 double approximation_ratio(Weight got, Weight opt);
 
+/// Certified upper bound on OPT via a greedy clique partition: any
+/// independent set takes at most one vertex from each clique, so the sum
+/// of per-clique maximum weights bounds OPT from above. Cheap (O(m) after
+/// a degree sort) and valid at any size — the contract harness uses it on
+/// instances too large for the exact solver. Deterministic: cliques are
+/// grown greedily from vertices in descending-degree (then ascending-id)
+/// order.
+Weight clique_partition_upper_bound(const graph::Graph& g);
+
 }  // namespace congestlb::maxis

@@ -1,0 +1,180 @@
+#include "sim/traffic.hpp"
+
+#include "support/expect.hpp"
+#include "support/hash.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace congestlb::sim {
+
+namespace {
+
+using graph::NodeId;
+
+std::size_t pattern_bits(std::size_t n) {
+  return static_cast<std::size_t>(
+      std::max(1, ceil_log2(std::max<std::size_t>(2, n))));
+}
+
+}  // namespace
+
+std::string_view to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kUniformRandom:
+      return "uniform-random";
+    case TrafficPattern::kBitComplement:
+      return "bit-complement";
+    case TrafficPattern::kShuffle:
+      return "shuffle";
+    case TrafficPattern::kTranspose:
+      return "transpose";
+    case TrafficPattern::kTornado:
+      return "tornado";
+  }
+  return "?";
+}
+
+std::optional<TrafficPattern> traffic_pattern_from_string(
+    std::string_view s) {
+  for (TrafficPattern p : kAllTrafficPatterns) {
+    if (to_string(p) == s) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> traffic_destinations(TrafficPattern p, std::size_t n,
+                                         std::uint64_t seed) {
+  CLB_EXPECT(n >= 1, "traffic: n must be >= 1");
+  std::vector<NodeId> dest(n);
+  const std::size_t b = pattern_bits(n);
+  // Transpose swaps bit halves, so it works over an even bit width.
+  const std::size_t be = b + (b % 2);
+  const std::uint64_t mask = (b >= 64) ? ~0ULL : ((1ULL << b) - 1);
+  const std::uint64_t emask = (be >= 64) ? ~0ULL : ((1ULL << be) - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t d = 0;
+    switch (p) {
+      case TrafficPattern::kUniformRandom: {
+        Rng rng(hash_mix(seed, 0x7261ffULL, i));
+        d = rng.below(n);
+        break;
+      }
+      case TrafficPattern::kBitComplement:
+        d = (~static_cast<std::uint64_t>(i)) & mask;
+        break;
+      case TrafficPattern::kShuffle:
+        d = ((static_cast<std::uint64_t>(i) << 1) |
+             (static_cast<std::uint64_t>(i) >> (b - 1))) &
+            mask;
+        break;
+      case TrafficPattern::kTranspose: {
+        const std::size_t half = be / 2;
+        const std::uint64_t lo = i & ((1ULL << half) - 1);
+        const std::uint64_t hi = static_cast<std::uint64_t>(i) >> half;
+        d = ((lo << half) | hi) & emask;
+        break;
+      }
+      case TrafficPattern::kTornado:
+        d = static_cast<std::uint64_t>(i) + n / 2;
+        break;
+    }
+    dest[i] = static_cast<NodeId>(d % n);
+  }
+  return dest;
+}
+
+graph::Graph traffic_graph(TrafficPattern p, std::size_t n,
+                           std::uint64_t seed) {
+  CLB_EXPECT(n >= 1, "traffic: n must be >= 1");
+  graph::Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.set_weight(v, static_cast<graph::Weight>(
+                        1 + (hash_mix(seed, 0x77ULL, v) % 8)));
+  }
+  const auto dest = traffic_destinations(p, n, seed);
+  for (NodeId i = 0; i < n; ++i) {
+    const NodeId d = dest[i];
+    if (d != i && !g.has_edge(i, d)) g.add_edge(i, d);
+  }
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    if (!g.has_edge(i, i + 1)) g.add_edge(i, i + 1);
+  }
+  return g;
+}
+
+namespace {
+
+constexpr std::size_t kMaxValueBits = 16;
+
+class TrafficStressProgram final : public congest::NodeProgram {
+ public:
+  TrafficStressProgram(std::size_t duration, std::uint64_t seed)
+      : duration_(duration), seed_(seed) {}
+
+  void round(const congest::NodeInfo& info, const congest::Inbox& inbox,
+             congest::Outbox& outbox, Rng& /*rng*/) override {
+    if (finished_) return;
+    if (value_bits_ == 0) {
+      CLB_EXPECT(info.bits_per_edge >= 2, "traffic: bandwidth too small");
+      chk_bits_ = std::min<std::size_t>(6, info.bits_per_edge / 2);
+      value_bits_ = std::min(kMaxValueBits, info.bits_per_edge - chk_bits_);
+    }
+    for (const auto& slot : inbox) {
+      if (!slot) continue;
+      congest::MessageReader r(*slot);
+      const std::uint64_t value = r.get(value_bits_);
+      if (r.get(chk_bits_) == congest::fold_checksum(value, chk_bits_)) {
+        ++received_;
+      } else {
+        ++rejected_;
+      }
+    }
+    if (round_ < duration_ && !info.neighbors.empty()) {
+      const std::size_t slot = (round_ + info.id) % info.neighbors.size();
+      const std::uint64_t value =
+          hash_mix(seed_, info.id, round_) &
+          ((value_bits_ >= 64) ? ~0ULL : ((1ULL << value_bits_) - 1));
+      outbox.send(slot,
+                  std::move(congest::MessageWriter()
+                                .put(value, value_bits_)
+                                .put(congest::fold_checksum(value, chk_bits_),
+                                     chk_bits_))
+                      .finish());
+    }
+    ++round_;
+    // Sends from round duration_-1 arrive in round duration_; nothing of
+    // ours is in flight after that.
+    if (round_ > duration_) finished_ = true;
+  }
+
+  bool finished() const override { return finished_; }
+  std::int64_t output() const override {
+    return static_cast<std::int64_t>(received_);
+  }
+  std::string diagnostic() const override {
+    return rejected_ == 0 ? std::string{}
+                          : std::to_string(rejected_) +
+                                " checksum-rejected deliveries";
+  }
+
+ private:
+  std::size_t duration_;
+  std::uint64_t seed_;
+  std::size_t value_bits_ = 0;
+  std::size_t chk_bits_ = 0;
+  std::size_t round_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t rejected_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+congest::ProgramFactory traffic_stress_factory(std::size_t duration,
+                                               std::uint64_t seed) {
+  return [duration, seed](NodeId, const congest::NodeInfo&) {
+    return std::make_unique<TrafficStressProgram>(duration, seed);
+  };
+}
+
+}  // namespace congestlb::sim

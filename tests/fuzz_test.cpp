@@ -6,19 +6,25 @@
 
 #include <cctype>
 #include <deque>
+#include <iterator>
 #include <sstream>
 #include <string>
 
+#include "campaign/supervise.hpp"
 #include "comm/blackboard.hpp"
+#include "congest/approx_mis.hpp"
+#include "congest/blackboard_mis.hpp"
 #include "congest/message.hpp"
 #include "congest/network.hpp"
 #include "congest/transcript.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "maxis/bitset.hpp"
+#include "maxis/branch_and_bound.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/traffic.hpp"
 #include "support/rng.hpp"
 
 namespace congestlb {
@@ -252,6 +258,128 @@ TEST_P(FuzzSweep, FaultSchedulesKeepBitAccountingExact) {
     ASSERT_EQ(again.messages_duplicated, stats.messages_duplicated);
     ASSERT_EQ(again.nodes_crashed, stats.nodes_crashed);
     ASSERT_EQ(replay.outputs(), net.outputs());
+  }
+}
+
+// ----------------------------------------------- upper-bound algorithm zoo --
+
+/// Hostile topologies for the approximation programs: traffic-pattern
+/// graphs (rings with adversarial chords), stars (one cut vertex), and two
+/// cliques joined by a bridge (carve elections meet at the bottleneck).
+graph::Graph hostile_topology(Rng& rng) {
+  const std::size_t shape = rng.below(3);
+  if (shape == 0) {
+    const auto pattern = sim::kAllTrafficPatterns[rng.below(
+        std::size(sim::kAllTrafficPatterns))];
+    return sim::traffic_graph(pattern, 4 + rng.below(12), rng.next());
+  }
+  if (shape == 1) {
+    const std::size_t n = 3 + rng.below(12);
+    graph::Graph g(n);
+    for (graph::NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      g.set_weight(v, static_cast<graph::Weight>(1 + rng.below(8)));
+    }
+    return g;
+  }
+  const std::size_t half = 3 + rng.below(5);
+  graph::Graph g(2 * half);
+  for (graph::NodeId u = 0; u < half; ++u) {
+    for (graph::NodeId v = u + 1; v < half; ++v) {
+      g.add_edge(u, v);
+      g.add_edge(half + u, half + v);
+    }
+  }
+  g.add_edge(half - 1, half);  // the bridge
+  for (graph::NodeId v = 0; v < 2 * half; ++v) {
+    g.set_weight(v, static_cast<graph::Weight>(1 + rng.below(8)));
+  }
+  return g;
+}
+
+/// Mid-round fault mix; intensity scales with the chaos env contract
+/// (CLB_CHAOS_FAIL_RATE / CLB_CHAOS_FAIL_SEED, the same knobs the campaign
+/// chaos harness turns) so scripts/chaos drivers can crank these fuzzers
+/// without recompiling.
+congest::FaultConfig fuzz_faults(Rng& rng) {
+  congest::FaultConfig fc;
+  double scale = 1.0;
+  if (const auto chaos = campaign::chaos_from_env()) {
+    scale = 1.0 + chaos->fail_rate;
+    rng = Rng(rng.next() ^ chaos->fail_seed);
+  }
+  fc.drop_rate = std::min(0.9, rng.uniform() * 0.3 * scale);
+  fc.corrupt_rate = std::min(0.9, rng.uniform() * 0.15 * scale);
+  fc.duplicate_rate = std::min(0.9, rng.uniform() * 0.15 * scale);
+  if (rng.chance(0.5)) {
+    fc.crash_rate = std::min(0.9, rng.uniform() * 0.25 * scale);
+    fc.crash_round_limit = 1 + rng.below(6);
+    fc.recovery_delay = rng.chance(0.5) ? 1 + rng.below(4) : 0;
+  }
+  return fc;
+}
+
+TEST_P(FuzzSweep, ApproxMisSurvivesHostileTopologiesAndFaults) {
+  // Under any topology and any mid-round fault schedule: the run reaches a
+  // terminal state, the converged In-nodes are independent, and the whole
+  // run replays bit-identically from its seed.
+  Rng rng(GetParam() + 1000);
+  const auto solver = [](const graph::Graph& g) {
+    return maxis::solve_exact(g).nodes;
+  };
+  for (int trial = 0; trial < 4; ++trial) {
+    const auto g = hostile_topology(rng);
+    graph::Weight max_w = 1;
+    for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+      max_w = std::max(max_w, g.weight(v));
+    }
+    congest::NetworkConfig cfg;
+    cfg.seed = rng.next();
+    cfg.bits_per_edge = congest::approx_mis_local_bits(g.num_nodes(), max_w);
+    cfg.max_rounds = 200000;
+    cfg.faults = fuzz_faults(rng);
+
+    congest::Network net(g, congest::approx_mis_factory(solver), cfg);
+    const auto stats = net.run();
+    ASSERT_LT(stats.rounds, cfg.max_rounds)
+        << "did not terminate, fuzz seed " << cfg.seed;
+
+    std::vector<graph::NodeId> in_nodes;
+    const auto outs = net.outputs();
+    for (graph::NodeId v = 0; v < outs.size(); ++v) {
+      if (outs[v] != 0 && net.program(v).finished()) in_nodes.push_back(v);
+    }
+    ASSERT_TRUE(g.is_independent_set(in_nodes)) << "fuzz seed " << cfg.seed;
+
+    congest::Network replay(g, congest::approx_mis_factory(solver), cfg);
+    const auto again = replay.run();
+    ASSERT_EQ(again, stats) << "fuzz seed " << cfg.seed;
+    ASSERT_EQ(replay.outputs(), outs) << "fuzz seed " << cfg.seed;
+  }
+}
+
+TEST_P(FuzzSweep, BlackboardMisSurvivesHostileGraphsAndSeeds) {
+  // The protocols self-verify maximality and independence (CLB_EXPECT) —
+  // the fuzz property is that no topology or seed trips them and the bit
+  // budgets hold: exactly 2 m log n for full revelation, at most 2 n log n
+  // for Luby.
+  Rng rng(GetParam() + 1100);
+  for (int trial = 0; trial < 6; ++trial) {
+    const auto g = hostile_topology(rng);
+    const std::size_t n = g.num_nodes();
+    const std::size_t id_bits = static_cast<std::size_t>(
+        std::max(1, ceil_log2(std::max<std::size_t>(2, n))));
+    const std::size_t players = 2 + rng.below(5);
+
+    comm::Blackboard full_board(players);
+    const auto full = congest::full_revelation_mis(g, players, full_board);
+    ASSERT_EQ(full.bits_posted, g.num_edges() * 2 * id_bits);
+
+    comm::Blackboard luby_board(players);
+    const auto luby =
+        congest::luby_blackboard_mis(g, players, luby_board, rng.next());
+    ASSERT_LE(luby.bits_posted, 2 * n * id_bits);
+    ASSERT_LE(luby.blackboard_rounds, 2 * n);
   }
 }
 

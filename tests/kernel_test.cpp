@@ -267,5 +267,66 @@ TEST(KernelProperty, UnfoldMatchesBruteForceOnTinyGraphs) {
   EXPECT_FALSE(failure.has_value()) << failure->describe();
 }
 
+TEST(KernelProperty, EveryRuleMaskUnfoldsToBruteForceOptimum) {
+  // Exactness must hold under *every* subset of enabled rules — each rule
+  // is individually sound, so disabling some can only leave the kernel
+  // larger, never change the unfolded optimum. Random graphs stay <= 24
+  // nodes so brute force certifies the target; all 32 masks are swept per
+  // instance, including the empty mask (identity kernel).
+  const testing::Property prop =
+      [](std::uint64_t seed, std::size_t size) -> std::optional<std::string> {
+    Rng rng(seed ^ 0x5eedULL);
+    const std::size_t n = 1 + rng.below(std::min<std::size_t>(size + 1, 24));
+    graph::Graph g = random_weighted(rng, n, 0.05 + rng.uniform() * 0.5, 6);
+    const Weight exact = solve_brute_force(g).weight;
+    for (unsigned mask = 0; mask <= kAllKernelRules; ++mask) {
+      KernelOptions opts;
+      opts.rules = mask;
+      Kernel kernel(g, opts);
+      const BnBResult reduced = solve_branch_and_bound(kernel.reduced());
+      const Weight lifted =
+          checked(g, kernel.unfold(reduced.solution.nodes)).weight;
+      if (lifted != exact) {
+        return "rule mask " + std::to_string(mask) + ": kernel OPT " +
+               std::to_string(lifted) + " != brute force " +
+               std::to_string(exact);
+      }
+      // A disabled rule must never fire (stats are per-rule, so this is
+      // directly checkable).
+      const KernelStats& st = kernel.stats();
+      if (((mask & kRuleIsolated) == 0 && st.isolated != 0) ||
+          ((mask & kRuleDegree1) == 0 && (st.degree1 != 0 || st.folded != 0)) ||
+          ((mask & kRuleDomination) == 0 && st.dominated != 0) ||
+          ((mask & kRuleSimplicial) == 0 && st.simplicial != 0) ||
+          ((mask & kRuleTwin) == 0 && st.twins != 0)) {
+        return "rule mask " + std::to_string(mask) +
+               ": a disabled rule fired";
+      }
+      // The pre-check must agree with the pipeline: if it says nothing can
+      // fire, nothing may fire.
+      if (!kernelizable(g, opts) && st.decisions() != 0) {
+        return "rule mask " + std::to_string(mask) +
+               ": kernelizable() == false but the pipeline decided " +
+               std::to_string(st.decisions()) + " vertices";
+      }
+    }
+    return std::nullopt;
+  };
+  const auto failure = testing::check_seeds(prop, 4242, 40, 23);
+  EXPECT_FALSE(failure.has_value()) << failure->describe();
+}
+
+TEST(KernelRuleMask, EmptyMaskIsIdentity) {
+  graph::Graph g(4);
+  g.add_edge(0, 1);  // degree-1 rules would fire on 2, 3 (isolated)
+  KernelOptions opts;
+  opts.rules = 0;
+  EXPECT_FALSE(kernelizable(g, opts));
+  Kernel k(g, opts);
+  EXPECT_EQ(k.stats().decisions(), 0u);
+  EXPECT_EQ(k.reduced().num_nodes(), 4u);
+  EXPECT_TRUE(kernelizable(g));  // full mask still sees the work
+}
+
 }  // namespace
 }  // namespace congestlb::maxis
