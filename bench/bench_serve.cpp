@@ -1,0 +1,197 @@
+// Experiment SV: campaign service latency — what a tenant pays to talk to
+// `clb serve` (docs/SERVICE.md), measured on the sockets-free core so the
+// numbers are scheduler/ledger costs, not loopback TCP noise.
+//
+// Writes BENCH_serve.json (schema clb-serve-v1): entries keyed by
+// (name, variant, clients), metric ns_per_op.
+//   - variant "warm_hit":  submit() of an already-completed sweep — served
+//     from the ledger + manifest on disk, the scheduler never dispatches.
+//     Measured at 1, 4, and 8 concurrent clients hammering the same key.
+//   - variant "admission": cold submit() in admission-only mode — spec
+//     canonicalization, quota check, spec + ledger persistence. This is
+//     the durability price of kAccepted (the sweep survives kill -9 the
+//     moment submit returns).
+//
+// check_bench_regression.py compares both against
+// bench/baselines/BENCH_serve_baseline.json. CLB_BENCH_SMOKE=1 shrinks the
+// op counts for CI.
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "serve/service.hpp"
+#include "support/json.hpp"
+#include "support/table.hpp"
+
+namespace clb = congestlb;
+namespace cmp = clb::campaign;
+namespace srv = clb::serve;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::string variant;
+  std::size_t clients = 1;
+  std::size_t ops = 0;
+  double ns_per_op = 0;
+};
+
+cmp::CampaignSpec tiny_spec(std::uint64_t seed) {
+  cmp::CampaignSpec spec;
+  spec.name = "bench";
+  spec.seed = seed;
+  cmp::SweepSpec sweep;
+  sweep.name = "P1";
+  sweep.check = cmp::CheckKind::kProperty1;
+  sweep.points.push_back({2, 1, 2, std::nullopt});
+  spec.sweeps.push_back(sweep);
+  return spec;
+}
+
+/// Warm-hit latency: `clients` threads, each submitting the completed
+/// spec `ops` times. Every call must come back kWarmHit.
+Row bench_warm(srv::Service& service, const cmp::CampaignSpec& spec,
+               std::size_t clients, std::size_t ops) {
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      const std::string name = "bench" + std::to_string(c);
+      for (std::size_t i = 0; i < ops; ++i) {
+        const auto res = service.submit(name, spec, 0);
+        if (res.outcome != srv::SubmitOutcome::kWarmHit) {
+          std::cerr << "expected warm_hit, got " << to_string(res.outcome)
+                    << "\n";
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  Row r;
+  r.name = "serve/submit";
+  r.variant = "warm_hit";
+  r.clients = clients;
+  r.ops = clients * ops;
+  r.ns_per_op =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(r.ops);
+  return r;
+}
+
+/// Cold-admission latency: one client, `ops` distinct specs, admission-only
+/// service (the measured path ends at the persisted ledger, not at job
+/// execution).
+Row bench_admission(const std::string& state_dir, std::size_t ops) {
+  srv::ServiceConfig config;
+  config.state_dir = state_dir;
+  config.orchestrators = 0;
+  config.quota.max_queued = ops + 1;
+  srv::Service service(config);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto res = service.submit("bench", tiny_spec(1000 + i), 0);
+    if (res.outcome != srv::SubmitOutcome::kAccepted) {
+      std::cerr << "expected accepted, got " << to_string(res.outcome) << "\n";
+      std::exit(1);
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  Row r;
+  r.name = "serve/submit";
+  r.variant = "admission";
+  r.clients = 1;
+  r.ops = ops;
+  r.ns_per_op =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(ops);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = std::getenv("CLB_BENCH_SMOKE") != nullptr;
+  const std::size_t warm_ops = smoke ? 50 : 500;
+  const std::size_t admit_ops = smoke ? 32 : 256;
+  std::cout << "=== bench_serve: campaign service latency ("
+            << (smoke ? "smoke" : "full") << " op counts) ===\n";
+
+  const fs::path state_root = fs::temp_directory_path() / "clb-bench-serve";
+  std::error_code ec;
+  fs::remove_all(state_root, ec);
+  fs::create_directories(state_root / "warm");
+  fs::create_directories(state_root / "admit");
+
+  std::vector<Row> rows;
+  {
+    // Complete one sweep cold, then measure warm hits against it.
+    srv::ServiceConfig config;
+    config.state_dir = (state_root / "warm").string();
+    config.pool_threads = 2;
+    config.orchestrators = 1;
+    srv::Service service(config);
+    const auto spec = tiny_spec(1);
+    const auto res = service.submit("seed", spec, 0);
+    if (res.outcome != srv::SubmitOutcome::kAccepted || !service.wait_idle()) {
+      std::cerr << "cold seed run failed\n";
+      return 1;
+    }
+    const auto executed_before = service.pool_executed();
+    for (const std::size_t clients : {1u, 4u, 8u}) {
+      rows.push_back(bench_warm(service, spec, clients, warm_ops));
+    }
+    // The contract the warm numbers stand on: zero dispatch happened.
+    if (service.pool_executed() != executed_before) {
+      std::cerr << "warm hits dispatched to the pool\n";
+      return 1;
+    }
+  }
+  rows.push_back(bench_admission((state_root / "admit").string(), admit_ops));
+
+  clb::print_heading(std::cout, "service latency by variant");
+  clb::Table t({"name", "variant", "clients", "ops", "ns/op"});
+  for (const Row& r : rows) {
+    t.row(r.name, r.variant, r.clients, r.ops, clb::fmt_double(r.ns_per_op, 0));
+  }
+  t.print(std::cout);
+
+  {
+    std::ofstream out("BENCH_serve.json");
+    clb::JsonWriter jw(out);
+    jw.begin_object();
+    jw.kv("schema", "clb-serve-v1");
+    jw.kv("benchmark", "serve");
+    jw.kv("sweep", smoke ? "smoke" : "full");
+    jw.key("entries");
+    jw.begin_array();
+    for (const Row& r : rows) {
+      jw.begin_object();
+      jw.kv("name", r.name);
+      jw.kv("variant", r.variant);
+      jw.kv("clients", static_cast<std::uint64_t>(r.clients));
+      jw.kv("ops", static_cast<std::uint64_t>(r.ops));
+      jw.kv("ns_per_op", r.ns_per_op);
+      jw.end_object();
+    }
+    jw.end_array();
+    jw.end_object();
+    out << "\n";
+  }
+  std::cout << "  wrote BENCH_serve.json (" << rows.size() << " entries)\n";
+
+  fs::remove_all(state_root, ec);
+  std::cout << "\nServe bench completed.\n";
+  return 0;
+}

@@ -4,14 +4,17 @@
 Usage:
     scripts/check_bench_regression.py <measured.json> <baseline.json> [--factor F]
 
-Two input schemas are understood: clb-bench-v1 (an "entries" array, timing
-in ns_per_round / ns_per_solve) and google-benchmark's own JSON (a
-"benchmarks" array, timing in real_time + time_unit — the BENCH_micro.json
-format). Entries are matched by (name, variant, threads), where variant
-distinguishes rows measured under different kernel implementations (the
-SIMD dispatch levels: "scalar", "avx2", "avx512") — each variant is
-compared against its own baseline independently, so a vector-kernel
-speedup can never mask a scalar-fallback regression or vice versa. The
+Three input schemas are understood: clb-bench-v1 (an "entries" array,
+timing in ns_per_round / ns_per_solve), clb-serve-v1 (the BENCH_serve.json
+format: "entries" keyed by (name, variant, clients), timing in ns_per_op),
+and google-benchmark's own JSON (a "benchmarks" array, timing in
+real_time + time_unit — the BENCH_micro.json format). Entries are matched
+by (name, variant, threads) — or (name, variant, clients) for the serve
+schema — where variant distinguishes rows measured under different kernel
+implementations (the SIMD dispatch levels: "scalar", "avx2", "avx512") or
+service paths ("warm_hit", "admission") — each variant is compared against
+its own baseline independently, so a vector-kernel speedup can never mask
+a scalar-fallback regression or vice versa. The
 check fails (exit 1) when any matched entry's metric exceeds
 factor * baseline (default 2x), or when a steady-state flood workload
 reports nonzero allocations per round. Individual entries present on only
@@ -38,10 +41,13 @@ import sys
 # google-benchmark time_unit values, normalized to nanoseconds.
 _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
-# The clb schema marker this checker understands; documents that declare a
-# different one are from a future (or foreign) writer and must not be
-# silently compared.
+# The clb schema markers this checker understands; documents that declare
+# a different one are from a future (or foreign) writer and must not be
+# silently compared. The serve schema keys its rows by concurrent client
+# count instead of worker threads; everything else is shared.
 _CLB_SCHEMA = "clb-bench-v1"
+_SERVE_SCHEMA = "clb-serve-v1"
+_CLB_SCHEMAS = (_CLB_SCHEMA, _SERVE_SCHEMA)
 
 
 class SchemaError(Exception):
@@ -82,27 +88,32 @@ def load_entries(path):
             f"(google-benchmark) or 'entries' ({_CLB_SCHEMA}) array; "
             f"found top-level keys {sorted(doc)}")
     declared = doc.get("schema", _CLB_SCHEMA)
-    if declared != _CLB_SCHEMA:
+    if declared not in _CLB_SCHEMAS:
         raise SchemaError(
             f"{path}: declares schema {declared!r}; this checker only "
-            f"understands {_CLB_SCHEMA!r}")
+            f"understands {_CLB_SCHEMAS!r}")
     if not isinstance(doc["entries"], list):
         raise SchemaError(f"{path}: 'entries' is not an array")
+    # The serve schema scales by concurrent clients, not worker threads —
+    # the third key component follows the schema so a 1-client row never
+    # silently compares against an 8-client baseline.
+    dim = "clients" if declared == _SERVE_SCHEMA else "threads"
     for e in doc["entries"]:
         if not isinstance(e, dict):
             raise SchemaError(f"{path}: entry {e!r} is not an object")
-        # Entries are keyed by (name, variant, threads); rows from newer
-        # bench families (e.g. BENCH_campaign.json) may omit "threads" or
-        # carry no ns_per_round at all — key them anyway so they show up
-        # as "new", never as a crash.
+        # Entries are keyed by (name, variant, threads|clients); rows from
+        # newer bench families (e.g. BENCH_campaign.json) may omit the
+        # third component or carry no ns_per_round at all — key them
+        # anyway so they show up as "new", never as a crash.
         entries[(e.get("name", "?"), e.get("variant", ""),
-                 e.get("threads", 1))] = e
+                 e.get(dim, 1))] = e
     return entries
 
 
 def metric_ns(entry):
-    """The entry's timing metric: ns_per_round or ns_per_solve."""
-    for field in ("ns_per_round", "ns_per_solve"):
+    """The entry's timing metric: ns_per_round, ns_per_solve, or the serve
+    schema's ns_per_op."""
+    for field in ("ns_per_round", "ns_per_solve", "ns_per_op"):
         if field in entry and entry[field] is not None:
             return entry[field]
     return None
@@ -148,7 +159,8 @@ def main():
                 f"{key}: {got_ns:.0f} ns vs baseline "
                 f"{base_ns:.0f} ({ratio:.2f}x > {args.factor}x)")
         variant = f" [{key[1]}]" if key[1] else ""
-        print(f"{key[0]}{variant} (threads={key[2]}): {got_ns:.0f} ns, "
+        dim = "clients" if "clients" in base else "threads"
+        print(f"{key[0]}{variant} ({dim}={key[2]}): {got_ns:.0f} ns, "
               f"{ratio:.2f}x baseline -> {status}")
     if comparable > 0 and compared == 0:
         failures.append(

@@ -76,6 +76,22 @@ std::vector<TraceEvent> Tracer::events() const {
   return out;
 }
 
+std::vector<TraceEvent> Tracer::events_since(std::uint64_t since,
+                                             std::uint64_t* next) const {
+  CLB_EXPECT(next != nullptr, "Tracer::events_since: next must not be null");
+  *next = recorded_;
+  std::vector<TraceEvent> out;
+  const std::uint64_t oldest = recorded_ - count_;  // seq of ring_[head_]
+  if (since >= recorded_) return out;
+  const std::uint64_t from = since < oldest ? oldest : since;
+  const std::size_t cap = ring_.size();
+  out.reserve(static_cast<std::size_t>(recorded_ - from));
+  for (std::uint64_t s = from; s < recorded_; ++s) {
+    out.push_back(ring_[(head_ + static_cast<std::size_t>(s - oldest)) % cap]);
+  }
+  return out;
+}
+
 void Tracer::clear() {
   head_ = 0;
   count_ = 0;

@@ -148,6 +148,16 @@ class Tracer {
   /// Events currently held, oldest first (allocates; not for hot paths).
   std::vector<TraceEvent> events() const;
 
+  /// Tail the ring as a feed: every event whose global sequence number is
+  /// >= `since`, oldest first, where event seq numbers run 0,1,2,... in
+  /// recording order (recorded() is the next seq to be assigned). Events
+  /// the ring has already overwritten are simply gone — a consumer that
+  /// falls more than `capacity` events behind observes a gap, detectable
+  /// as *next > since + result.size(). Sets *next to the seq to pass as
+  /// `since` on the next call (never null). Serial context, like events().
+  std::vector<TraceEvent> events_since(std::uint64_t since,
+                                       std::uint64_t* next) const;
+
   /// Events currently in the ring.
   std::size_t size() const { return count_; }
   /// Events ever recorded into the ring (including later overwritten).

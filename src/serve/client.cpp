@@ -1,0 +1,139 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace congestlb::serve {
+
+namespace {
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t put =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (put <= 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+std::string build_request(std::string_view method, std::string_view path,
+                          std::string_view body) {
+  std::ostringstream out;
+  out << method << ' ' << path << " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+      << "Connection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    out << "Content-Type: application/json\r\nContent-Length: "
+        << body.size() << "\r\n";
+  }
+  out << "\r\n" << body;
+  return out.str();
+}
+
+/// Parse "HTTP/1.1 <code> ..." + headers out of buf (which must contain
+/// the full header block); returns the body start offset, npos on junk.
+std::size_t parse_status(const std::string& buf, int* status) {
+  const auto header_end = buf.find("\r\n\r\n");
+  if (header_end == std::string::npos) return std::string::npos;
+  int code = 0;
+  if (std::sscanf(buf.c_str(), "HTTP/1.%*c %d", &code) != 1) {
+    return std::string::npos;
+  }
+  *status = code;
+  return header_end + 4;
+}
+
+}  // namespace
+
+int HttpClient::connect_fd(std::string* error) const {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = "socket: " + std::string(std::strerror(errno));
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "connect: " + std::string(std::strerror(errno));
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+ClientResponse HttpClient::request(std::string_view method,
+                                   std::string_view path,
+                                   std::string_view body) {
+  ClientResponse res;
+  const int fd = connect_fd(&res.error);
+  if (fd < 0) return res;
+  if (!send_all(fd, build_request(method, path, body))) {
+    res.error = "send failed";
+    ::close(fd);
+    return res;
+  }
+  std::string buf;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    buf.append(chunk, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  const std::size_t body_at = parse_status(buf, &res.status);
+  if (body_at == std::string::npos) {
+    res.status = 0;
+    res.error = "malformed response";
+    return res;
+  }
+  res.body = buf.substr(body_at);
+  return res;
+}
+
+int HttpClient::stream(
+    std::string_view path,
+    const std::function<bool(std::string_view data)>& on_data) {
+  std::string error;
+  const int fd = connect_fd(&error);
+  if (fd < 0) return 0;
+  if (!send_all(fd, build_request("GET", path, {}))) {
+    ::close(fd);
+    return 0;
+  }
+  std::string buf;
+  char chunk[4096];
+  int status = 0;
+  std::size_t scan = std::string::npos;  // npos until headers parsed
+  bool keep_going = true;
+  while (keep_going) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) break;
+    buf.append(chunk, static_cast<std::size_t>(got));
+    if (scan == std::string::npos) {
+      scan = parse_status(buf, &status);
+      if (scan == std::string::npos) continue;  // headers incomplete
+      if (status != 200) break;  // error body, not an event stream
+    }
+    std::size_t nl;
+    while (keep_going && (nl = buf.find('\n', scan)) != std::string::npos) {
+      std::string_view line(buf.data() + scan, nl - scan);
+      scan = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (line.rfind("data: ", 0) == 0) {
+        keep_going = on_data(line.substr(6));
+      }
+    }
+  }
+  ::close(fd);
+  return status;
+}
+
+}  // namespace congestlb::serve

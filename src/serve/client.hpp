@@ -1,0 +1,44 @@
+// Blocking HTTP client for the campaign service — the transport behind
+// `clb submit|watch|fetch`, the serve tests, and the serve-smoke CI
+// harness. Matches the server's deliberately small protocol subset
+// (serve/http.hpp): HTTP/1.1, one request per connection, Content-Length
+// responses, plus a streaming reader for the SSE event feed.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace congestlb::serve {
+
+struct ClientResponse {
+  int status = 0;      ///< 0 = transport failure (connect/read error)
+  std::string body;
+  std::string error;   ///< transport diagnostic when status == 0
+};
+
+class HttpClient {
+ public:
+  /// Targets 127.0.0.1:port — the only address the server binds.
+  explicit HttpClient(std::uint16_t port) : port_(port) {}
+
+  /// One request/response cycle on a fresh connection.
+  ClientResponse request(std::string_view method, std::string_view path,
+                         std::string_view body = {});
+
+  /// GET `path` and stream the response as server-sent events: `on_data`
+  /// is called once per "data: ..." payload (comments/heartbeats are
+  /// skipped); return false from it to stop reading. Returns the HTTP
+  /// status (0 on transport failure).
+  int stream(std::string_view path,
+             const std::function<bool(std::string_view data)>& on_data);
+
+ private:
+  int connect_fd(std::string* error) const;
+
+  std::uint16_t port_;
+};
+
+}  // namespace congestlb::serve

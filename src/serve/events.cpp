@@ -1,0 +1,75 @@
+#include "serve/events.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace congestlb::serve {
+
+EventHub::EventHub(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+void EventHub::publish(ServeEvent ev) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ev.seq = published_++;
+    if (count_ < capacity_) {
+      ring_[(head_ + count_) % capacity_] = std::move(ev);
+      ++count_;
+    } else {
+      ring_[head_] = std::move(ev);  // overwrite the oldest
+      head_ = (head_ + 1) % capacity_;
+    }
+  }
+  cv_.notify_all();
+}
+
+std::vector<ServeEvent> EventHub::poll_locked(const std::string& sweep,
+                                              std::uint64_t since,
+                                              std::uint64_t* next) const {
+  *next = published_;
+  std::vector<ServeEvent> out;
+  const std::uint64_t oldest = published_ - count_;  // seq of ring_[head_]
+  if (since >= published_) return out;
+  const std::uint64_t from = since < oldest ? oldest : since;
+  for (std::uint64_t s = from; s < published_; ++s) {
+    const ServeEvent& ev =
+        ring_[(head_ + static_cast<std::size_t>(s - oldest)) % capacity_];
+    if (sweep.empty() || ev.sweep == sweep) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<ServeEvent> EventHub::poll(const std::string& sweep,
+                                       std::uint64_t since,
+                                       std::uint64_t* next) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poll_locked(sweep, since, next);
+}
+
+std::vector<ServeEvent> EventHub::poll_wait(const std::string& sweep,
+                                            std::uint64_t since,
+                                            std::uint64_t* next,
+                                            std::uint64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto out = poll_locked(sweep, since, next);
+  if (!out.empty()) return out;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (out.empty()) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      return poll_locked(sweep, since, next);
+    }
+    out = poll_locked(sweep, since, next);
+  }
+  return out;
+}
+
+std::uint64_t EventHub::published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+}  // namespace congestlb::serve

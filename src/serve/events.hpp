@@ -1,0 +1,89 @@
+// Event hub for the campaign service: the live-progress feed behind
+// `clb watch` and the /v1/sweeps/<key>/events SSE endpoint.
+//
+// The hub is the service-side analogue of the obs trace ring
+// (obs/trace.hpp): a bounded ring of structured events with global
+// sequence numbers, tailed by cursor exactly like Tracer::events_since —
+// a consumer that falls more than `capacity` events behind observes a gap
+// (next - since > returned size) instead of blocking the producers.
+// Unlike the tracer, producers here are pool worker threads (the per-job
+// completion hook of campaign::RunOptions::on_job), so publish/poll are
+// fully synchronized, and poll_wait() lets an SSE writer block for new
+// events instead of spinning.
+//
+// Events are deliberately coarse — sweep lifecycle plus one event per
+// landed job record — because job records are the unit the manifest is
+// made of: a client that has seen every "job" event of a sweep has seen
+// the campaign's whole canonical content. Round-level detail stays in the
+// obs tracer, which stays per-run; the hub carries the cross-tenant feed.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace congestlb::serve {
+
+/// One feed entry. `seq` is assigned by the hub at publish time and is
+/// globally monotone across sweeps; filtering by sweep key preserves the
+/// per-sweep order because publication order within a sweep is the job
+/// completion order.
+struct ServeEvent {
+  std::uint64_t seq = 0;
+  std::string sweep;    ///< hex16 spec hash (ContentCache::hex_key)
+  /// "accepted" | "started" | "job" | "completed" | "failed"
+  std::string kind;
+  std::string job_id;   ///< kind == "job": the record id
+  std::string stage;    ///< kind == "job": build | solve-* | check
+  std::string verdict;  ///< kind == "job": built | opt | holds | ...
+  std::uint64_t jobs_done = 0;   ///< records landed so far for this sweep
+  std::uint64_t jobs_total = 0;  ///< jobs the spec expands to
+};
+
+class EventHub {
+ public:
+  /// `capacity` bounds the ring; 0 is pinned up to 1 (a hub that holds
+  /// nothing cannot hand out gap-consistent cursors).
+  explicit EventHub(std::size_t capacity);
+
+  EventHub(const EventHub&) = delete;
+  EventHub& operator=(const EventHub&) = delete;
+
+  /// Append an event (seq is assigned here; the passed value is ignored).
+  /// Thread-safe; wakes every poll_wait()er.
+  void publish(ServeEvent ev);
+
+  /// Every held event with seq >= since — all sweeps when `sweep` is
+  /// empty, else that sweep's only. *next is set to the seq one past the
+  /// newest event held (pass it back as `since` to tail). Thread-safe.
+  std::vector<ServeEvent> poll(const std::string& sweep, std::uint64_t since,
+                               std::uint64_t* next) const;
+
+  /// poll(), but blocks up to timeout_ms for a matching event when the
+  /// immediate answer would be empty. An empty return after the timeout is
+  /// the SSE writer's cue to emit a heartbeat and re-check its peer.
+  std::vector<ServeEvent> poll_wait(const std::string& sweep,
+                                    std::uint64_t since, std::uint64_t* next,
+                                    std::uint64_t timeout_ms) const;
+
+  /// Events ever published (== the next seq to be assigned).
+  std::uint64_t published() const;
+
+ private:
+  std::vector<ServeEvent> poll_locked(const std::string& sweep,
+                                      std::uint64_t since,
+                                      std::uint64_t* next) const;
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::vector<ServeEvent> ring_;
+  std::size_t head_ = 0;          ///< index of the oldest held event
+  std::size_t count_ = 0;         ///< events held
+  std::uint64_t published_ = 0;   ///< events ever published
+};
+
+}  // namespace congestlb::serve

@@ -1,0 +1,255 @@
+#include "serve/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+
+#include "support/expect.hpp"
+
+namespace congestlb::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 4 * 1024 * 1024;
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 409: return "Conflict";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Parse "METHOD /path?query HTTP/1.x" + headers + Content-Length body
+/// from fd. Returns false (and sets *error_status) on anything malformed.
+bool read_request(int fd, HttpRequest* req, int* error_status) {
+  *error_status = 400;
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (buf.size() > kMaxHeaderBytes) {
+      *error_status = 413;
+      return false;
+    }
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return false;  // peer gone or timeout
+    buf.append(chunk, static_cast<std::size_t>(got));
+    header_end = buf.find("\r\n\r\n");
+  }
+  const std::string head = buf.substr(0, header_end);
+  std::string rest = buf.substr(header_end + 4);
+
+  std::istringstream lines(head);
+  std::string line;
+  if (!std::getline(lines, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  {
+    std::istringstream rl(line);
+    std::string version;
+    if (!(rl >> req->method >> req->path >> version)) return false;
+    if (version.rfind("HTTP/1.", 0) != 0) return false;
+    const auto q = req->path.find('?');
+    if (q != std::string::npos) {
+      req->query = req->path.substr(q + 1);
+      req->path.resize(q);
+    }
+  }
+  while (std::getline(lines, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    std::string value = line.substr(colon + 1);
+    const auto first = value.find_first_not_of(" \t");
+    value = first == std::string::npos ? "" : value.substr(first);
+    req->headers[lower(line.substr(0, colon))] = value;
+  }
+
+  std::size_t content_length = 0;
+  if (const auto it = req->headers.find("content-length");
+      it != req->headers.end()) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0') return false;
+    content_length = static_cast<std::size_t>(v);
+    if (content_length > kMaxBodyBytes) {
+      *error_status = 413;
+      return false;
+    }
+  }
+  while (rest.size() < content_length) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) return false;
+    rest.append(chunk, static_cast<std::size_t>(got));
+  }
+  req->body = rest.substr(0, content_length);
+  return true;
+}
+
+}  // namespace
+
+std::string query_param(const std::string& query, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string_view pair(query.data() + pos, amp - pos);
+    const auto eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
+bool HttpConn::write_all(std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t put =
+        ::send(fd_, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (put <= 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+void HttpConn::respond(const HttpResponse& res) {
+  responded_ = true;
+  std::ostringstream out;
+  out << "HTTP/1.1 " << res.status << ' ' << status_text(res.status)
+      << "\r\nContent-Type: " << res.content_type
+      << "\r\nContent-Length: " << res.body.size()
+      << "\r\nConnection: close\r\n\r\n"
+      << res.body;
+  write_all(out.str());
+}
+
+bool HttpConn::begin_sse() {
+  responded_ = true;
+  return write_all(
+      "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n"
+      "Cache-Control: no-store\r\nConnection: close\r\n\r\n");
+}
+
+bool HttpConn::send_sse(std::string_view data) {
+  std::string msg = "data: ";
+  msg.append(data);
+  msg += "\n\n";
+  return write_all(msg);
+}
+
+bool HttpConn::send_sse_comment(std::string_view text) {
+  std::string msg = ": ";
+  msg.append(text);
+  msg += "\n\n";
+  return write_all(msg);
+}
+
+bool HttpConn::server_stopping() const { return server_->stopping(); }
+
+HttpServer::HttpServer(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  CLB_EXPECT(listen_fd_ >= 0, "http: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    CLB_EXPECT(false, "http: cannot bind/listen (port in use?)");
+  }
+  socklen_t len = sizeof(addr);
+  CLB_EXPECT(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                           &len) == 0,
+             "http: getsockname failed");
+  port_ = ntohs(addr.sin_port);
+}
+
+HttpServer::~HttpServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void HttpServer::serve(Handler handler) {
+  CLB_EXPECT(handler != nullptr, "http: null handler");
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal: re-check the stop flag
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Bound read stalls so a half-open peer cannot pin a thread forever.
+    timeval tv{/*tv_sec=*/10, /*tv_usec=*/0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      ++active_conns_;
+    }
+    std::thread([this, fd, &handler] {
+      handle_connection(fd, handler);
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      --active_conns_;
+      conn_cv_.notify_all();
+    }).detach();
+  }
+  // Stand-in for joining the detached connection threads: every handler is
+  // bounded (recv timeout; SSE loops watch stopping()), so this converges.
+  std::unique_lock<std::mutex> lock(conn_mu_);
+  conn_cv_.wait(lock, [this] { return active_conns_ == 0; });
+}
+
+void HttpServer::handle_connection(int fd, const Handler& handler) {
+  HttpRequest req;
+  HttpConn conn(fd, this);
+  int error_status = 400;
+  if (read_request(fd, &req, &error_status)) {
+    handler(req, conn);
+    if (!conn.responded_) {
+      conn.respond({404, "application/json", "{\"error\": \"not found\"}\n"});
+    }
+  } else {
+    conn.respond({error_status, "application/json",
+                  "{\"error\": \"bad request\"}\n"});
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+void HttpServer::stop() { stop_.store(true, std::memory_order_relaxed); }
+
+}  // namespace congestlb::serve

@@ -1,0 +1,121 @@
+// Minimal HTTP/1.1 server and client over POSIX sockets — just enough
+// protocol for the campaign service (docs/SERVICE.md) and nothing more.
+//
+// Scope on purpose: loopback-only binds (the daemon is a local build/CI
+// tool, not an internet service), one request per connection
+// (Connection: close), Content-Length bodies only, and exactly two
+// response shapes — a buffered JSON response and a server-sent-event
+// stream for /v1/.../events. No TLS, no chunked requests, no keep-alive;
+// anything outside the subset is answered 400/413 rather than guessed at.
+//
+// Threading: serve() runs the accept loop on the calling thread (the CLI
+// parks its main thread there) and spawns one thread per connection.
+// stop() — callable from any thread, including a signal-watcher — closes
+// the listener, wakes the loop, and joins every connection thread;
+// long-lived SSE handlers are expected to check HttpConn::server_stopping()
+// between events (the event hub's poll_wait timeout gives them a natural
+// heartbeat cadence) so stop() terminates promptly.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace congestlb::serve {
+
+struct HttpRequest {
+  std::string method;  ///< GET / POST / ...
+  std::string path;    ///< decoded-free path, query split off
+  std::string query;   ///< raw query string (after '?', may be empty)
+  std::map<std::string, std::string> headers;  ///< keys lowercased
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Single ?key=value lookup in a raw query string (no %-decoding; the
+/// service's query values are cursors and counts).
+std::string query_param(const std::string& query, std::string_view key);
+
+class HttpServer;
+
+/// One accepted connection, handed to the handler. Exactly one of
+/// respond() or begin_sse() must be called; the socket closes when the
+/// handler returns.
+class HttpConn {
+ public:
+  /// Buffered response with Content-Length.
+  void respond(const HttpResponse& res);
+
+  /// Switch to a text/event-stream response (writes the header block).
+  bool begin_sse();
+  /// One SSE message ("data: <data>\n\n"). False once the peer is gone —
+  /// the handler's cue to return.
+  bool send_sse(std::string_view data);
+  /// SSE comment line (": <text>\n\n") — the keep-alive heartbeat.
+  bool send_sse_comment(std::string_view text);
+
+  /// The server is stopping; streaming handlers must wind down.
+  bool server_stopping() const;
+
+ private:
+  friend class HttpServer;
+  HttpConn(int fd, const HttpServer* server) : fd_(fd), server_(server) {}
+  bool write_all(std::string_view data);
+
+  int fd_;
+  const HttpServer* server_;
+  bool responded_ = false;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, HttpConn&)>;
+
+  /// Bind + listen on 127.0.0.1:port. port 0 picks an ephemeral port —
+  /// read the real one back with port(). Throws InvariantError on bind
+  /// failure (port in use).
+  explicit HttpServer(std::uint16_t port);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Accept loop; blocks until stop(). Each connection is parsed and
+  /// dispatched to `handler` on its own thread; parse failures are
+  /// answered 400 without reaching the handler.
+  void serve(Handler handler);
+
+  /// Stop the accept loop and join every connection thread. Safe from any
+  /// thread; idempotent.
+  void stop();
+
+  bool stopping() const { return stop_.load(std::memory_order_relaxed); }
+
+ private:
+  void handle_connection(int fd, const Handler& handler);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  /// Connection threads run detached (a daemon serves an unbounded number
+  /// of requests; a joinable-thread list would grow without limit), with
+  /// this count + cv standing in for join at shutdown.
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::size_t active_conns_ = 0;
+};
+
+}  // namespace congestlb::serve

@@ -1,0 +1,255 @@
+#include "serve/routes.hpp"
+
+#include <sstream>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace congestlb::serve {
+
+namespace {
+
+/// Minimal JSON string escaping for the one-line event/status documents
+/// (SSE frames must be single-line; JsonWriter pretty-prints).
+std::string esc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string event_json(const ServeEvent& ev) {
+  std::ostringstream out;
+  out << "{\"seq\": " << ev.seq << ", \"sweep\": \"" << esc(ev.sweep)
+      << "\", \"kind\": \"" << esc(ev.kind) << "\"";
+  if (!ev.job_id.empty()) {
+    out << ", \"job\": \"" << esc(ev.job_id) << "\", \"stage\": \""
+        << esc(ev.stage) << "\"";
+  }
+  if (!ev.verdict.empty()) {
+    out << ", \"verdict\": \"" << esc(ev.verdict) << "\"";
+  }
+  out << ", \"jobs_done\": " << ev.jobs_done
+      << ", \"jobs_total\": " << ev.jobs_total << "}";
+  return out.str();
+}
+
+std::string status_json(const SweepStatus& st) {
+  std::ostringstream out;
+  out << "{\"sweep\": \"" << esc(st.sweep) << "\", \"name\": \""
+      << esc(st.name) << "\", \"client\": \"" << esc(st.client)
+      << "\", \"priority\": " << st.priority << ", \"state\": \""
+      << to_string(st.state) << "\", \"jobs_done\": " << st.jobs_done
+      << ", \"jobs_total\": " << st.jobs_total
+      << ", \"all_hold\": " << (st.all_hold ? "true" : "false");
+  if (!st.diagnostic.empty()) {
+    out << ", \"diagnostic\": \"" << esc(st.diagnostic) << "\"";
+  }
+  out << "}";
+  return out.str();
+}
+
+int submit_status_code(SubmitOutcome outcome) {
+  switch (outcome) {
+    case SubmitOutcome::kAccepted: return 202;
+    case SubmitOutcome::kWarmHit:
+    case SubmitOutcome::kDuplicate: return 200;
+    case SubmitOutcome::kRejectedQuota: return 429;
+    case SubmitOutcome::kDraining: return 503;
+    case SubmitOutcome::kInvalid: return 400;
+  }
+  return 500;
+}
+
+void handle_submit(Service& service, const HttpRequest& req, HttpConn& conn) {
+  std::string client = "anon";
+  int priority = 0;
+  SubmitResult result;
+  try {
+    const JsonValue doc = parse_json(req.body);
+    if (const JsonValue* c = doc.find("client")) client = c->as_string();
+    if (const JsonValue* p = doc.find("priority")) {
+      priority = static_cast<int>(p->as_i64());
+    }
+    const JsonValue& spec = doc.at("spec");
+    if (spec.is_object()) {
+      result = service.submit(client, campaign::parse_campaign_spec(spec),
+                              priority);
+    } else {
+      result = service.submit_text(client, spec.as_string(), priority);
+    }
+  } catch (const std::exception& e) {
+    result.outcome = SubmitOutcome::kInvalid;
+    result.message = e.what();
+  }
+  std::ostringstream body;
+  body << "{\"outcome\": \"" << to_string(result.outcome)
+       << "\", \"sweep\": \"" << esc(result.sweep) << "\"";
+  if (!result.message.empty()) {
+    body << ", \"message\": \"" << esc(result.message) << "\"";
+  }
+  body << ", \"admit_ns\": " << result.admit_ns << "}\n";
+  conn.respond({submit_status_code(result.outcome), "application/json",
+                body.str()});
+}
+
+void handle_events(Service& service, const std::string& key,
+                   const HttpRequest& req, HttpConn& conn) {
+  if (!service.status(key)) {
+    conn.respond({404, "application/json", "{\"error\": \"unknown sweep\"}\n"});
+    return;
+  }
+  std::uint64_t cursor = 0;
+  if (const std::string since = query_param(req.query, "since");
+      !since.empty()) {
+    cursor = std::strtoull(since.c_str(), nullptr, 10);
+  }
+  if (!conn.begin_sse()) return;
+  while (true) {
+    std::uint64_t next = cursor;
+    const auto events =
+        service.events().poll_wait(key, cursor, &next, /*timeout_ms=*/500);
+    cursor = next;
+    bool terminal = false;
+    for (const ServeEvent& ev : events) {
+      if (!conn.send_sse(event_json(ev))) return;  // peer gone
+      terminal |= ev.kind == "completed" || ev.kind == "failed";
+    }
+    if (terminal) return;
+    if (conn.server_stopping()) return;
+    // The sweep may have finished before we subscribed (warm attach): end
+    // the stream with a synthetic terminal frame instead of idling.
+    if (events.empty()) {
+      if (const auto st = service.status(key);
+          st && (st->state == SweepState::kComplete ||
+                 st->state == SweepState::kFailed)) {
+        ServeEvent done;
+        done.seq = cursor;
+        done.sweep = key;
+        done.kind =
+            st->state == SweepState::kComplete ? "completed" : "failed";
+        done.jobs_done = st->jobs_done;
+        done.jobs_total = st->jobs_total;
+        conn.send_sse(event_json(done));
+        return;
+      }
+      if (!conn.send_sse_comment("heartbeat")) return;
+    }
+  }
+}
+
+void handle_stats(Service& service, HttpConn& conn) {
+  std::ostringstream body;
+  body << "{\"pool_executed\": " << service.pool_executed()
+       << ", \"pool_errors\": " << service.pool_errors()
+       << ", \"draining\": " << (service.draining() ? "true" : "false")
+       << ", \"clients\": [";
+  bool first = true;
+  for (const auto& cs : service.session_stats()) {
+    if (!first) body << ", ";
+    first = false;
+    body << "{\"client\": \"" << esc(cs.client)
+         << "\", \"queued\": " << cs.queued
+         << ", \"inflight\": " << cs.inflight << "}";
+  }
+  body << "], \"counters\": {";
+  first = true;
+  for (const auto& counter : service.metrics().counters()) {
+    if (counter->name().rfind("serve.", 0) != 0) continue;
+    if (!first) body << ", ";
+    first = false;
+    body << "\"" << esc(counter->name()) << "\": " << counter->value();
+  }
+  body << "}}\n";
+  conn.respond({200, "application/json", body.str()});
+}
+
+}  // namespace
+
+HttpServer::Handler make_service_handler(Service& service) {
+  return [&service](const HttpRequest& req, HttpConn& conn) {
+    const std::string& path = req.path;
+    if (req.method == "GET" && path == "/v1/ping") {
+      conn.respond({200, "application/json", "{\"ok\": true}\n"});
+      return;
+    }
+    if (req.method == "POST" && path == "/v1/sweeps") {
+      handle_submit(service, req, conn);
+      return;
+    }
+    if (req.method == "GET" && path == "/v1/sweeps") {
+      std::ostringstream body;
+      body << "{\"sweeps\": [";
+      bool first = true;
+      for (const SweepStatus& st : service.list()) {
+        if (!first) body << ", ";
+        first = false;
+        body << status_json(st);
+      }
+      body << "]}\n";
+      conn.respond({200, "application/json", body.str()});
+      return;
+    }
+    if (req.method == "GET" && path.rfind("/v1/sweeps/", 0) == 0) {
+      const std::string rest = path.substr(std::string("/v1/sweeps/").size());
+      const auto slash = rest.find('/');
+      const std::string key = rest.substr(0, slash);
+      const std::string sub =
+          slash == std::string::npos ? "" : rest.substr(slash + 1);
+      if (sub == "events") {
+        handle_events(service, key, req, conn);
+        return;
+      }
+      if (sub == "manifest") {
+        const auto st = service.status(key);
+        if (!st) {
+          conn.respond(
+              {404, "application/json", "{\"error\": \"unknown sweep\"}\n"});
+        } else if (const auto text = service.manifest_text(key)) {
+          conn.respond({200, "application/json", *text});
+        } else {
+          conn.respond({409, "application/json",
+                        "{\"error\": \"sweep not complete\"}\n"});
+        }
+        return;
+      }
+      if (sub.empty()) {
+        if (const auto st = service.status(key)) {
+          conn.respond({200, "application/json", status_json(*st) + "\n"});
+        } else {
+          conn.respond(
+              {404, "application/json", "{\"error\": \"unknown sweep\"}\n"});
+        }
+        return;
+      }
+    }
+    if (req.method == "GET" && path == "/v1/stats") {
+      handle_stats(service, conn);
+      return;
+    }
+    if (req.method == "POST" && path == "/v1/drain") {
+      service.begin_drain();
+      conn.respond({200, "application/json", "{\"draining\": true}\n"});
+      return;
+    }
+    conn.respond({404, "application/json", "{\"error\": \"not found\"}\n"});
+  };
+}
+
+}  // namespace congestlb::serve

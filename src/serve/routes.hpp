@@ -1,0 +1,34 @@
+// HTTP/JSON surface of the campaign service: binds a serve::Service to a
+// serve::HttpServer handler. docs/SERVICE.md documents every endpoint;
+// the summary:
+//
+//   GET  /v1/ping                     liveness probe
+//   POST /v1/sweeps                   submit {"spec": <doc|builtin name>,
+//                                     "client": "...", "priority": N}
+//   GET  /v1/sweeps                   every known sweep, admission order
+//   GET  /v1/sweeps/<key>             one sweep's status
+//   GET  /v1/sweeps/<key>/manifest    canonical manifest (409 until done)
+//   GET  /v1/sweeps/<key>/events      SSE progress feed (?since=<cursor>)
+//   GET  /v1/stats                    pool/session/metrics snapshot
+//   POST /v1/drain                    stop admitting (SIGTERM equivalent)
+//
+// Submission outcomes map onto status codes: kAccepted 202, kWarmHit and
+// kDuplicate 200, kRejectedQuota 429, kDraining 503, kInvalid 400 — so a
+// shell client can branch on the code alone.
+//
+// Kept separate from both sides on purpose: http.{hpp,cpp} stays a
+// protocol library with no campaign types, service.{hpp,cpp} stays a
+// sockets-free core the tests and the latency bench drive in-process.
+
+#pragma once
+
+#include "serve/http.hpp"
+#include "serve/service.hpp"
+
+namespace congestlb::serve {
+
+/// Build the request handler for `service`. The service must outlive the
+/// returned handler (the CLI owns both; tests scope them together).
+HttpServer::Handler make_service_handler(Service& service);
+
+}  // namespace congestlb::serve

@@ -1,0 +1,56 @@
+#include "serve/session.hpp"
+
+#include "support/expect.hpp"
+
+namespace congestlb::serve {
+
+bool SessionManager::try_enqueue(const std::string& client) {
+  Counts& c = counts_[client];
+  if (c.queued >= quota_.max_queued) return false;
+  ++c.queued;
+  return true;
+}
+
+bool SessionManager::can_start(const std::string& client) const {
+  const auto it = counts_.find(client);
+  if (it == counts_.end()) return true;
+  return it->second.inflight < quota_.max_inflight;
+}
+
+void SessionManager::on_start(const std::string& client) {
+  Counts& c = counts_[client];
+  CLB_EXPECT(c.queued > 0, "session: on_start without a queued sweep");
+  --c.queued;
+  ++c.inflight;
+}
+
+void SessionManager::on_finish(const std::string& client) {
+  Counts& c = counts_[client];
+  CLB_EXPECT(c.inflight > 0, "session: on_finish without an in-flight sweep");
+  --c.inflight;
+}
+
+void SessionManager::force_enqueue(const std::string& client) {
+  ++counts_[client].queued;
+}
+
+std::size_t SessionManager::queued(const std::string& client) const {
+  const auto it = counts_.find(client);
+  return it == counts_.end() ? 0 : it->second.queued;
+}
+
+std::size_t SessionManager::inflight(const std::string& client) const {
+  const auto it = counts_.find(client);
+  return it == counts_.end() ? 0 : it->second.inflight;
+}
+
+std::vector<SessionManager::ClientStats> SessionManager::stats() const {
+  std::vector<ClientStats> out;
+  for (const auto& [client, c] : counts_) {
+    if (c.queued == 0 && c.inflight == 0) continue;
+    out.push_back({client, c.queued, c.inflight});
+  }
+  return out;
+}
+
+}  // namespace congestlb::serve

@@ -1,0 +1,82 @@
+// Per-client session accounting for the campaign service: quotas and the
+// determinism contract behind admission decisions (docs/SERVICE.md).
+//
+// A client is a short opaque name (the `client` field of a submission; the
+// CLI defaults it to "anon"). The service tracks, per client, how many of
+// its sweeps are *queued* (accepted, waiting for an orchestrator) and how
+// many are *in flight* (being orchestrated right now), and enforces two
+// quotas: max_queued bounds admission (a submit that would exceed it is
+// rejected with kRejectedQuota), max_inflight bounds orchestrator pickup
+// (a queued sweep whose client is at its in-flight cap is skipped until
+// one of that client's sweeps finishes — it is never rejected).
+//
+// Determinism: whether a given submit is rejected depends only on the
+// client's own outstanding queued count, never on scheduler timing or on
+// other tenants. A client that submits serially therefore sees the same
+// accept/reject sequence on every replay with the same quota — the
+// property the concurrent-admission test pins down with N racing clients.
+//
+// Not internally synchronized: SessionManager is a ledger the Service
+// mutates under its own state lock, in the same critical sections that
+// move sweeps between queued/running/done.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace congestlb::serve {
+
+struct Quota {
+  std::size_t max_queued = 8;    ///< accepted-but-not-started sweeps
+  std::size_t max_inflight = 2;  ///< sweeps being orchestrated
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(Quota quota) : quota_(quota) {}
+
+  const Quota& quota() const { return quota_; }
+
+  /// Admission check + bookkeeping: true (and queued++) iff the client is
+  /// under its max_queued quota.
+  bool try_enqueue(const std::string& client);
+
+  /// Orchestrator pickup gate: can this client start another sweep now?
+  bool can_start(const std::string& client) const;
+
+  /// A queued sweep of `client` started orchestration (queued--, inflight++).
+  void on_start(const std::string& client);
+
+  /// An in-flight sweep of `client` finished, whatever the outcome.
+  void on_finish(const std::string& client);
+
+  /// Restart-resume: re-admit a sweep recorded in the server manifest
+  /// without quota enforcement — it was already accepted in a previous
+  /// life, and an accepted sweep is never lost to a quota.
+  void force_enqueue(const std::string& client);
+
+  std::size_t queued(const std::string& client) const;
+  std::size_t inflight(const std::string& client) const;
+
+  struct ClientStats {
+    std::string client;
+    std::size_t queued = 0;
+    std::size_t inflight = 0;
+  };
+  /// Every client with nonzero counts, name-ordered.
+  std::vector<ClientStats> stats() const;
+
+ private:
+  struct Counts {
+    std::size_t queued = 0;
+    std::size_t inflight = 0;
+  };
+
+  Quota quota_;
+  std::map<std::string, Counts> counts_;
+};
+
+}  // namespace congestlb::serve

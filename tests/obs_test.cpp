@@ -111,6 +111,45 @@ TEST(Trace, RingOverwritesOldestAndCountsDrops) {
   EXPECT_EQ(t.dropped(), 0u);
 }
 
+TEST(Trace, EventsSinceTailsTheRingAsAFeed) {
+  if (!trace_compiled_in()) GTEST_SKIP() << "CONGESTLB_TRACE=0";
+  Tracer t({.capacity = 4});
+  std::uint64_t next = 0;
+  // Empty ring: nothing, and next stays at the cursor origin.
+  EXPECT_TRUE(t.events_since(0, &next).empty());
+  EXPECT_EQ(next, 0u);
+
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    t.emit({i, i, 0, 0, EventKind::kPhase});
+  }
+  auto evs = t.events_since(0, &next);
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(next, 3u);
+  EXPECT_EQ(evs[0].value, 0u);
+  EXPECT_EQ(evs[2].value, 2u);
+
+  // Incremental tail: only the new events since the cursor.
+  t.emit({3, 3, 0, 0, EventKind::kPhase});
+  evs = t.events_since(next, &next);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].value, 3u);
+  EXPECT_EQ(next, 4u);
+
+  // A cursor past the end yields nothing (idempotent poll).
+  EXPECT_TRUE(t.events_since(next, &next).empty());
+
+  // Fall behind by more than the capacity: the overwritten prefix is gone
+  // and the feed resumes at the oldest surviving event, with the gap
+  // visible as next - since > returned size.
+  for (std::uint32_t i = 4; i < 10; ++i) {
+    t.emit({i, i, 0, 0, EventKind::kPhase});
+  }
+  evs = t.events_since(4, &next);
+  ASSERT_EQ(evs.size(), 4u);
+  EXPECT_EQ(evs[0].value, 6u) << "seq 4,5 were overwritten";
+  EXPECT_EQ(next, 10u);
+}
+
 TEST(Trace, SealDrainsPhaseMajorShardAscending) {
   if (!trace_compiled_in()) GTEST_SKIP() << "CONGESTLB_TRACE=0";
   Tracer t({.capacity = 64});
