@@ -25,6 +25,11 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "comm/lower_bound.hpp"
 #include "congest/algorithms/greedy_mis.hpp"
@@ -204,6 +209,275 @@ EngineRow measure_runs(const std::string& name, const clb::graph::Graph& g,
   return row;
 }
 
+// ------------------------------------------------------- scaling curve --
+
+/// Current resident set in bytes (Linux /proc/self/status VmRSS); 0 when
+/// the file is unavailable. Used for before/after deltas around one
+/// build+run, which peak RSS alone cannot give.
+std::size_t current_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return static_cast<std::size_t>(
+                 std::strtoull(line.c_str() + 6, nullptr, 10)) *
+             1024;
+    }
+  }
+  return 0;
+}
+
+/// Process-lifetime peak resident set in bytes; 0 when getrusage is
+/// unavailable. Monotone, so the scale rows run in ascending n: the value
+/// recorded after each run is that run's own high-water mark.
+std::size_t process_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<std::size_t>(ru.ru_maxrss) * 1024;
+  }
+#endif
+  return 0;
+}
+
+/// Scale workload: broadcast a 16-bit payload every round, read only the
+/// first inbox slot. Deliberately never iterates the inbox — a grid node
+/// in the 10^6-node family has ~10^5 block-implied neighbors, and walking
+/// them every round would reintroduce exactly the O(implicit edges) cost
+/// the hybrid engine removes. Per node per round this is one
+/// counting-select (O(log n * |blocks|)) plus an O(1) broadcast, so a
+/// round is ~O(n log n) no matter how many edges the blocks imply.
+class ScaleFlood final : public clb::congest::NodeProgram {
+ public:
+  void round(const clb::congest::NodeInfo& info,
+             const clb::congest::Inbox& inbox, clb::congest::Outbox& outbox,
+             clb::Rng&) override {
+    if (!inbox.empty()) {
+      const auto probe = inbox[0];
+      if (probe) acc_ += clb::congest::MessageReader(*probe).get(16);
+    }
+    if (!info.neighbors.empty()) {
+      const std::uint64_t payload =
+          (static_cast<std::uint64_t>(info.id) ^ acc_) & 0xFFFF;
+      outbox.send_all(
+          std::move(clb::congest::MessageWriter().put(payload, 16)).finish());
+    }
+  }
+  bool finished() const override { return false; }
+  std::int64_t output() const override {
+    return static_cast<std::int64_t>(acc_ & 0x7FFFFFFFFFFFFFFFULL);
+  }
+
+ private:
+  std::uint64_t acc_ = 0;
+};
+
+struct ScaleRow {
+  std::string name;     ///< scale/gxbar-1e4 ...
+  std::string variant;  ///< "" serial, "mt4" four worker threads
+  std::size_t n = 0;
+  std::size_t t = 0;  ///< gadget copies (players)
+  std::size_t threads = 1;
+  std::size_t rounds = 0;
+  std::size_t explicit_edges = 0;
+  std::uint64_t implicit_edges = 0;
+  std::size_t blocks = 0;
+  double build_ms = 0;  ///< streaming construction + topology + arenas
+  double ns_per_round = 0;
+  double messages_per_s = 0;
+  double bits_per_s = 0;
+  std::size_t peak_rss_bytes = 0;   ///< process high-water after the run
+  std::size_t rss_delta_bytes = 0;  ///< VmRSS growth across build+run
+  double materialized_edge_bytes = 0;  ///< CSR cost if blocks were expanded
+};
+
+/// Build one G_xbar instance at t copies with the anti-matching grids kept
+/// implicit, run ScaleFlood for a timed window, and record timing + memory.
+ScaleRow measure_scale(const std::string& name, const std::string& variant,
+                       std::size_t t, std::size_t threads,
+                       std::size_t timed_rounds) {
+  const auto params = clb::lb::GadgetParams::from_l_alpha(3, 1);
+  clb::lb::BuildOptions opts;
+  // Grids (Theta(t^2) implied edges each) go implicit; the per-copy
+  // cliques and stars (~110 edges/copy) stay explicit.
+  opts.implicit_threshold = 4096;
+  opts.skip_labels = true;
+
+  const std::size_t rss0 = current_rss_bytes();
+  const auto b0 = std::chrono::steady_clock::now();
+  const clb::lb::LinearConstruction c(params, t, opts);
+  const auto& g = c.fixed_graph();
+
+  clb::congest::NetworkConfig cfg;
+  cfg.bits_per_edge = 16;
+  cfg.broadcast_only = true;
+  cfg.max_rounds = 100'000'000;
+  cfg.num_threads = threads;
+  clb::congest::Network net(
+      g,
+      [](clb::graph::NodeId, const clb::congest::NodeInfo&) {
+        return std::make_unique<ScaleFlood>();
+      },
+      cfg);
+  const auto b1 = std::chrono::steady_clock::now();
+
+  net.run_rounds(1);  // warm-up
+  const auto s0 = net.stats();
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run_rounds(timed_rounds);
+  const auto t1 = std::chrono::steady_clock::now();
+  const auto s1 = net.stats();
+  const std::size_t rss1 = current_rss_bytes();
+
+  const double ns = elapsed_ns(t0, t1);
+  ScaleRow row;
+  row.name = name;
+  row.variant = variant;
+  row.n = g.num_nodes();
+  row.t = t;
+  row.threads = threads;
+  row.rounds = timed_rounds;
+  row.explicit_edges = g.num_explicit_edges();
+  row.implicit_edges = g.num_implicit_edges();
+  row.blocks = g.implicit_blocks().size();
+  row.build_ms = elapsed_ns(b0, b1) / 1e6;
+  row.ns_per_round = ns / static_cast<double>(timed_rounds);
+  row.messages_per_s =
+      static_cast<double>(s1.messages_sent - s0.messages_sent) * 1e9 / ns;
+  row.bits_per_s = static_cast<double>(s1.bits_sent - s0.bits_sent) * 1e9 / ns;
+  row.peak_rss_bytes = process_peak_rss_bytes();
+  row.rss_delta_bytes = rss1 > rss0 ? rss1 - rss0 : 0;
+  // What the engine topology alone would cost with every block expanded:
+  // 2 directed slots per undirected edge, each a NodeId target plus a
+  // u32 reverse-slot entry. Deliberately excludes the per-slot message
+  // arenas, so the <10% gate below is conservative.
+  row.materialized_edge_bytes =
+      static_cast<double>(row.implicit_edges +
+                          static_cast<std::uint64_t>(row.explicit_edges)) *
+      2.0 * (sizeof(clb::graph::NodeId) + sizeof(std::uint32_t));
+  return row;
+}
+
+/// Memory gate: above this n, a run whose resident-set growth is not
+/// small relative to the materialized CSR cost means the implicit
+/// representation leaked an O(implicit edges) allocation somewhere.
+constexpr std::size_t kRssGateMinN = 100'000;
+constexpr double kRssGateFraction = 0.10;
+
+/// The G_xbar scaling curve: n from 1e4 up to CLB_SCALE_MAX_N (default
+/// 1e6; CLB_BENCH_SMOKE caps the default at 1e4). Writes BENCH_scale.json
+/// (schema clb-scale-v1) and returns the rows for BENCH_simulation.json.
+/// Returns ok=false when the resident-set gate fails.
+std::pair<std::vector<ScaleRow>, bool> scale_section(bool smoke) {
+  clb::print_heading(std::cout,
+                     "G_xbar scaling curve (implicit grids; "
+                     "see BENCH_scale.json)");
+
+  std::size_t max_n = smoke ? 10'000 : 1'000'000;
+  if (const char* env = std::getenv("CLB_SCALE_MAX_N")) {
+    max_n = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+
+  // t = n / nodes_per_copy; with (ell, alpha) = (3, 1) one copy is 24
+  // nodes, so the realized n is the target rounded down to a multiple
+  // of 24. Ascending order keeps each row's peak RSS its own.
+  struct Target {
+    const char* name;
+    std::size_t n;
+  };
+  constexpr Target kTargets[] = {
+      {"scale/gxbar-1e4", 10'000},
+      {"scale/gxbar-1e5", 100'000},
+      {"scale/gxbar-1e6", 1'000'000},
+  };
+  const std::size_t npc =
+      clb::lb::GadgetParams::from_l_alpha(3, 1).nodes_per_copy();
+
+  std::vector<ScaleRow> rows;
+  for (const auto& target : kTargets) {
+    if (target.n > max_n) {
+      std::cout << "  (skipping " << target.name << ": above CLB_SCALE_MAX_N="
+                << max_n << ")\n";
+      continue;
+    }
+    const std::size_t t = target.n / npc;
+    rows.push_back(measure_scale(target.name, "", t, 1, 4));
+    rows.push_back(measure_scale(target.name, "mt4", t, 4, 4));
+  }
+
+  Table tab({"workload", "variant", "n", "t", "expl edges", "impl edges",
+             "build ms", "ns/round", "messages/s", "peak RSS MB",
+             "RSS delta MB", "RSS/materialized"});
+  for (const auto& r : rows) {
+    tab.add_row(
+        {r.name, r.variant.empty() ? "serial" : r.variant,
+         std::to_string(r.n), std::to_string(r.t),
+         std::to_string(r.explicit_edges), std::to_string(r.implicit_edges),
+         clb::fmt_double(r.build_ms, 1), clb::fmt_double(r.ns_per_round, 0),
+         clb::fmt_double(r.messages_per_s, 0),
+         clb::fmt_double(static_cast<double>(r.peak_rss_bytes) / 1e6, 1),
+         clb::fmt_double(static_cast<double>(r.rss_delta_bytes) / 1e6, 1),
+         clb::fmt_double(static_cast<double>(r.rss_delta_bytes) /
+                             r.materialized_edge_bytes,
+                         4)});
+  }
+  tab.print(std::cout);
+  std::cout << "  (impl edges are never stored: the grids deliver "
+               "arithmetically; RSS/materialized compares resident growth "
+               "to the CSR cost of expanding them)\n";
+
+  bool ok = true;
+  for (const auto& r : rows) {
+    if (r.n < kRssGateMinN || r.implicit_edges == 0) continue;
+    const double frac =
+        static_cast<double>(r.rss_delta_bytes) / r.materialized_edge_bytes;
+    if (frac >= kRssGateFraction) {
+      std::cerr << "FAILED: " << r.name << " resident-set growth "
+                << r.rss_delta_bytes << " B is "
+                << clb::fmt_double(frac * 100.0, 1)
+                << "% of the materialized edge cost (gate: < "
+                << clb::fmt_double(kRssGateFraction * 100.0, 0) << "%)\n";
+      ok = false;
+    }
+  }
+
+  std::ofstream out("BENCH_scale.json");
+  clb::JsonWriter jw(out);
+  jw.begin_object();
+  jw.kv("schema", "clb-scale-v1");
+  jw.kv("benchmark", "scale_gxbar");
+  jw.kv("max_n", static_cast<std::uint64_t>(max_n));
+  jw.key("entries");
+  jw.begin_array();
+  for (const auto& r : rows) {
+    jw.begin_object();
+    jw.kv("name", r.name);
+    jw.kv("variant", r.variant);
+    jw.kv("n", static_cast<std::uint64_t>(r.n));
+    jw.kv("t", static_cast<std::uint64_t>(r.t));
+    jw.kv("threads", static_cast<std::uint64_t>(r.threads));
+    jw.kv("rounds", static_cast<std::uint64_t>(r.rounds));
+    jw.kv("explicit_edges", static_cast<std::uint64_t>(r.explicit_edges));
+    jw.kv("implicit_edges", r.implicit_edges);
+    jw.kv("blocks", static_cast<std::uint64_t>(r.blocks));
+    jw.kv("build_ms", r.build_ms);
+    jw.kv("ns_per_round", r.ns_per_round);
+    jw.kv("messages_per_s", r.messages_per_s);
+    jw.kv("bits_per_s", r.bits_per_s);
+    jw.kv("peak_rss_bytes", static_cast<std::uint64_t>(r.peak_rss_bytes));
+    jw.kv("rss_delta_bytes", static_cast<std::uint64_t>(r.rss_delta_bytes));
+    jw.kv("materialized_edge_bytes", r.materialized_edge_bytes);
+    jw.kv("rss_vs_materialized",
+          static_cast<double>(r.rss_delta_bytes) / r.materialized_edge_bytes);
+    jw.end_object();
+  }
+  jw.end_array();
+  jw.end_object();
+  out << "\n";
+  std::cout << "  wrote BENCH_scale.json (" << rows.size() << " entries)\n";
+  return {std::move(rows), ok};
+}
+
 // ------------------------------------------- SIMD pack/deliver kernels --
 
 /// The SWAR/vector layer's hot-path speedup gate: in a full run on
@@ -301,10 +575,13 @@ SimdKernelRow measure_deliver_kernel(clb::simd::Level level,
   return row;
 }
 
-/// Runs the engine-throughput suite and writes BENCH_simulation.json.
-/// Returns false when the full-run SIMD kernel gate fails.
+/// Runs the engine-throughput suite and writes BENCH_simulation.json,
+/// folding the scaling-curve rows into the entries array so one file
+/// carries the whole engine perf record. Returns false when the full-run
+/// SIMD kernel gate fails.
 bool engine_throughput_section(std::size_t timed_rounds,
-                               std::size_t mis_repeats) {
+                               std::size_t mis_repeats,
+                               const std::vector<ScaleRow>& scale_rows) {
   clb::print_heading(std::cout,
                      "engine throughput (ns/round; see BENCH_simulation.json)");
 
@@ -417,6 +694,24 @@ bool engine_throughput_section(std::size_t timed_rounds,
     jw.kv("slots", static_cast<std::uint64_t>(r.slots));
     jw.kv("rounds", static_cast<std::uint64_t>(r.rounds));
     jw.kv("ns_per_round", r.ns_per_round);
+    jw.end_object();
+  }
+  // The G_xbar scaling rows (implicit-grid topologies, n up to 1e6; full
+  // detail in BENCH_scale.json) repeated here so BENCH_simulation.json
+  // stays the one-stop engine perf record the roadmap asks for.
+  for (const auto& r : scale_rows) {
+    jw.begin_object();
+    jw.kv("name", r.name);
+    jw.kv("variant", r.variant);
+    jw.kv("n", static_cast<std::uint64_t>(r.n));
+    jw.kv("edges", static_cast<std::uint64_t>(r.explicit_edges));
+    jw.kv("implicit_edges", r.implicit_edges);
+    jw.kv("threads", static_cast<std::uint64_t>(r.threads));
+    jw.kv("rounds", static_cast<std::uint64_t>(r.rounds));
+    jw.kv("ns_per_round", r.ns_per_round);
+    jw.kv("messages_per_s", r.messages_per_s);
+    jw.kv("bits_per_s", r.bits_per_s);
+    jw.kv("peak_rss_bytes", static_cast<std::uint64_t>(r.peak_rss_bytes));
     jw.end_object();
   }
   jw.end_array();
@@ -639,12 +934,19 @@ int main() {
   }
 
   // Small shapes when CLB_BENCH_SMOKE is set (the CI smoke job); full
-  // windows otherwise.
+  // windows otherwise. The scale section runs first (its rows are RSS
+  // measurements, best taken before the throughput section's allocations)
+  // and its rows fold into BENCH_simulation.json below.
   const bool smoke = std::getenv("CLB_BENCH_SMOKE") != nullptr;
+  const auto [scale_rows, scale_ok] = scale_section(smoke);
   const bool simd_gate_ok =
       engine_throughput_section(/*timed_rounds=*/smoke ? 64 : 512,
-                                /*mis_repeats=*/smoke ? 2 : 8);
+                                /*mis_repeats=*/smoke ? 2 : 8, scale_rows);
 
+  if (!scale_ok) {
+    std::cerr << "\nFAILED: scaling-curve resident-set gate not met\n";
+    return 1;
+  }
   if (!simd_gate_ok) {
     std::cerr << "\nFAILED: SIMD kernel speedup gate not met\n";
     return 1;

@@ -4,13 +4,17 @@
 Usage:
     scripts/check_bench_regression.py <measured.json> <baseline.json> [--factor F]
 
-Three input schemas are understood: clb-bench-v1 (an "entries" array,
+Four input schemas are understood: clb-bench-v1 (an "entries" array,
 timing in ns_per_round / ns_per_solve), clb-serve-v1 (the BENCH_serve.json
 format: "entries" keyed by (name, variant, clients), timing in ns_per_op),
-and google-benchmark's own JSON (a "benchmarks" array, timing in
+clb-scale-v1 (the BENCH_scale.json scaling-curve format: "entries" keyed
+by (name, variant, n), timing in ns_per_round plus a peak_rss_bytes
+memory gate held to the same factor — a leaked O(implicit edges)
+allocation fails on memory long before it fails on time), and
+google-benchmark's own JSON (a "benchmarks" array, timing in
 real_time + time_unit — the BENCH_micro.json format). Entries are matched
-by (name, variant, threads) — or (name, variant, clients) for the serve
-schema — where variant distinguishes rows measured under different kernel
+by (name, variant, threads) — or (name, variant, clients|n) for the
+serve and scale schemas — where variant distinguishes rows measured under different kernel
 implementations (the SIMD dispatch levels: "scalar", "avx2", "avx512") or
 service paths ("warm_hit", "admission") — each variant is compared against
 its own baseline independently, so a vector-kernel speedup can never mask
@@ -44,10 +48,21 @@ _TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 # The clb schema markers this checker understands; documents that declare
 # a different one are from a future (or foreign) writer and must not be
 # silently compared. The serve schema keys its rows by concurrent client
-# count instead of worker threads; everything else is shared.
+# count instead of worker threads; the scale schema (BENCH_scale.json)
+# keys by problem size n and additionally carries a peak_rss_bytes gate;
+# everything else is shared.
 _CLB_SCHEMA = "clb-bench-v1"
 _SERVE_SCHEMA = "clb-serve-v1"
-_CLB_SCHEMAS = (_CLB_SCHEMA, _SERVE_SCHEMA)
+_SCALE_SCHEMA = "clb-scale-v1"
+_CLB_SCHEMAS = (_CLB_SCHEMA, _SERVE_SCHEMA, _SCALE_SCHEMA)
+
+# Key dimension per schema: which entry field joins a measured row to its
+# baseline row alongside (name, variant).
+_SCHEMA_DIM = {
+    _CLB_SCHEMA: "threads",
+    _SERVE_SCHEMA: "clients",
+    _SCALE_SCHEMA: "n",
+}
 
 
 class SchemaError(Exception):
@@ -94,17 +109,21 @@ def load_entries(path):
             f"understands {_CLB_SCHEMAS!r}")
     if not isinstance(doc["entries"], list):
         raise SchemaError(f"{path}: 'entries' is not an array")
-    # The serve schema scales by concurrent clients, not worker threads —
-    # the third key component follows the schema so a 1-client row never
-    # silently compares against an 8-client baseline.
-    dim = "clients" if declared == _SERVE_SCHEMA else "threads"
+    # The serve schema scales by concurrent clients and the scale schema
+    # by problem size n, not worker threads — the third key component
+    # follows the schema so a 1-client (or small-n) row never silently
+    # compares against an 8-client (or million-node) baseline.
+    dim = _SCHEMA_DIM[declared]
     for e in doc["entries"]:
         if not isinstance(e, dict):
             raise SchemaError(f"{path}: entry {e!r} is not an object")
-        # Entries are keyed by (name, variant, threads|clients); rows from
-        # newer bench families (e.g. BENCH_campaign.json) may omit the
-        # third component or carry no ns_per_round at all — key them
-        # anyway so they show up as "new", never as a crash.
+        # Entries are keyed by (name, variant, threads|clients|n); rows
+        # from newer bench families (e.g. BENCH_campaign.json) may omit
+        # the third component or carry no ns_per_round at all — key them
+        # anyway so they show up as "new", never as a crash. The declared
+        # dim is stashed on the entry (underscore key: never a bench
+        # field) so reporting below names the right axis.
+        e["_dim"] = dim
         entries[(e.get("name", "?"), e.get("variant", ""),
                  e.get(dim, 1))] = e
     return entries
@@ -158,8 +177,18 @@ def main():
             failures.append(
                 f"{key}: {got_ns:.0f} ns vs baseline "
                 f"{base_ns:.0f} ({ratio:.2f}x > {args.factor}x)")
+        # Memory gate (scale schema): peak resident set is held to the
+        # same factor as timing. A leaked O(implicit edges) allocation
+        # shows up here long before it shows up as time.
+        base_rss = base.get("peak_rss_bytes")
+        got_rss = got.get("peak_rss_bytes")
+        if base_rss and got_rss and got_rss > args.factor * base_rss:
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: peak RSS {got_rss} B vs baseline {base_rss} "
+                f"({got_rss / base_rss:.2f}x > {args.factor}x)")
         variant = f" [{key[1]}]" if key[1] else ""
-        dim = "clients" if "clients" in base else "threads"
+        dim = base.get("_dim", "threads")
         print(f"{key[0]}{variant} ({dim}={key[2]}): {got_ns:.0f} ns, "
               f"{ratio:.2f}x baseline -> {status}")
     if comparable > 0 and compared == 0:

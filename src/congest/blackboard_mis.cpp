@@ -30,7 +30,7 @@ std::vector<NodeId> greedy_mis_by_id(const graph::Graph& g) {
     if (blocked[v]) continue;
     in[v] = 1;
     mis.push_back(v);
-    for (NodeId u : g.neighbors(v)) blocked[u] = 1;
+    g.for_each_neighbor(v, [&](NodeId u) { blocked[u] = 1; });
   }
   return mis;
 }
@@ -44,12 +44,9 @@ void verify_maximal_independent(const graph::Graph& g,
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (in[v]) continue;
     bool covered = false;
-    for (NodeId u : g.neighbors(v)) {
-      if (in[u]) {
-        covered = true;
-        break;
-      }
-    }
+    g.for_each_neighbor(v, [&](NodeId u) {
+      if (in[u]) covered = true;
+    });
     CLB_EXPECT(covered, "blackboard-mis: result is not maximal");
   }
 }
@@ -65,12 +62,12 @@ BlackboardMisReport full_revelation_mis(const graph::Graph& g,
   const std::uint64_t start_bits = board.total_bits();
   // One round: the owner of each edge's smaller endpoint reveals it.
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (NodeId v : g.neighbors(u)) {
-      if (v <= u) continue;
+    g.for_each_neighbor(u, [&](NodeId v) {
+      if (v <= u) return;
       board.post_uint(owner_of(u, players),
                       (static_cast<std::uint64_t>(u) << id_bits) | v,
                       2 * id_bits, "mis/edge");
-    }
+    });
   }
   BlackboardMisReport report;
   report.mis = greedy_mis_by_id(g);
@@ -108,13 +105,10 @@ BlackboardMisReport luby_blackboard_mis(const graph::Graph& g,
       if (state[v] != 0) continue;
       const auto mine = std::pair(hash_mix(seed, phase, v), v);
       bool win = true;
-      for (NodeId u : g.neighbors(v)) {
-        if (state[u] != 0) continue;
-        if (std::pair(hash_mix(seed, phase, u), u) < mine) {
-          win = false;
-          break;
-        }
-      }
+      g.for_each_neighbor(v, [&](NodeId u) {
+        if (!win || state[u] != 0) return;
+        if (std::pair(hash_mix(seed, phase, u), u) < mine) win = false;
+      });
       if (win) winners.push_back(v);
     }
     for (NodeId v : winners) {
@@ -127,13 +121,13 @@ BlackboardMisReport luby_blackboard_mis(const graph::Graph& g,
     // that can see the edge to the winner.
     std::vector<NodeId> covered;
     for (NodeId w : winners) {
-      for (NodeId u : g.neighbors(w)) {
+      g.for_each_neighbor(w, [&](NodeId u) {
         if (state[u] == 0) {
           state[u] = 2;
           --undecided;
           covered.push_back(u);
         }
-      }
+      });
     }
     std::sort(covered.begin(), covered.end());
     for (NodeId u : covered) {

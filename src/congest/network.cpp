@@ -32,7 +32,6 @@ Outbox::Outbox(std::size_t num_neighbors, std::size_t cap_bits)
 
 void Outbox::send(std::size_t slot, const Message& msg) {
   CLB_EXPECT(slot < count_, "Outbox: neighbor slot out of range");
-  CLB_EXPECT(kind_[slot] == 0, "Outbox: one message per neighbor per round");
   CLB_EXPECT(msg.bits > 0, "Outbox: refusing to send an empty message");
   // The model constraint is checked at send time, faults or not: a program
   // that oversends is buggy even if the message would be lost.
@@ -40,11 +39,32 @@ void Outbox::send(std::size_t slot, const Message& msg) {
              "CONGEST bandwidth exceeded: message of " +
                  std::to_string(msg.bits) + " bits on a " +
                  std::to_string(cap_bits_) + "-bit edge");
+  if (bcast_) {
+    // Broadcast (hybrid) mode: one slot backs all neighbors; every send in
+    // a round must agree byte-for-byte.
+    if (kind_[0] != 0) {
+      CLB_EXPECT(msgs_[0].bits == msg.bits && msgs_[0].data == msg.data,
+                 "implicit-block topology requires identical messages to "
+                 "all neighbors in a round");
+    } else {
+      msgs_[0] = msg;
+      kind_[0] = 1;
+    }
+    ++sent_count_;
+    return;
+  }
+  CLB_EXPECT(kind_[slot] == 0, "Outbox: one message per neighbor per round");
   msgs_[slot] = msg;  // copy-assign reuses the arena slot's capacity
   kind_[slot] = 1;
 }
 
 void Outbox::send_all(const Message& msg) {
+  if (bcast_) {
+    if (count_ == 0) return;
+    send(0, msg);
+    sent_count_ = count_;
+    return;
+  }
   for (std::size_t i = 0; i < count_; ++i) send(i, msg);
 }
 
@@ -53,6 +73,7 @@ void Outbox::send_all(const Message& msg) {
 Network::Network(const graph::Graph& g, const ProgramFactory& factory,
                  NetworkConfig config)
     : topo_(Topology::build(g)),
+      hybrid_(topo_->has_implicit()),
       config_(std::move(config)),
       pool_(config_.num_threads == 0 ? 1 : config_.num_threads) {
   CLB_EXPECT(topo_->n > 0, "Network: empty graph");
@@ -61,19 +82,43 @@ Network::Network(const graph::Graph& g, const ProgramFactory& factory,
                        : congest_bandwidth_bits(topo_->n);
   CLB_EXPECT(bits_per_edge_ >= 1, "Network: bandwidth must be positive");
   if (config_.faults.enabled()) {
+    CLB_EXPECT(!hybrid_,
+               "fault injection requires a materialized topology (implicit "
+               "blocks deliver by reference; per-edge faults need per-edge "
+               "slots)");
     injector_.emplace(config_.faults, topo_->n, config_.seed);
+  }
+  if (hybrid_) {
+    // Per-edge trace events and per-delivery metric observations are
+    // O(total degree) — the very cost implicit blocks exist to avoid.
+    CLB_EXPECT(config_.tracer == nullptr || !config_.tracer->enabled(),
+               "tracing requires a materialized topology");
+    CLB_EXPECT(config_.metrics == nullptr,
+               "engine metrics require a materialized topology");
   }
 
   const std::size_t n = topo_->n;
-  const std::size_t slots = topo_->neighbors.size();  // 2m directed slots
-  in_kind_.assign(slots, 0);
-  in_msgs_.resize(slots);
-  out_kind_.assign(slots, 0);
-  out_msgs_.resize(slots);
-  echo_kind_.assign(slots, 0);
-  echo_msgs_.resize(slots);
-  dbits_.assign(slots, 0);
-  in_bits_.assign(slots, 0);
+  if (hybrid_) {
+    // Broadcast arenas: one slot per *node*. The per-directed-slot arenas
+    // stay empty — with 10^9+ block-implied slots they must never exist.
+    bc_out_kind_.assign(n, 0);
+    bc_out_msgs_.resize(n);
+    bc_in_kind_.assign(n, 0);
+    bc_in_msgs_.resize(n);
+    dbits_node_.assign(n, 0);
+    total_degree_.resize(n);
+    for (NodeId v = 0; v < n; ++v) total_degree_[v] = topo_->total_degree(v);
+  } else {
+    const std::size_t slots = topo_->neighbors.size();  // 2m directed slots
+    in_kind_.assign(slots, 0);
+    in_msgs_.resize(slots);
+    out_kind_.assign(slots, 0);
+    out_msgs_.resize(slots);
+    echo_kind_.assign(slots, 0);
+    echo_msgs_.resize(slots);
+    dbits_.assign(slots, 0);
+    in_bits_.assign(slots, 0);
+  }
   was_crashed_.assign(n, 0);
   crashed_now_.assign(n, 0);
 
@@ -91,7 +136,10 @@ Network::Network(const graph::Graph& g, const ProgramFactory& factory,
     info.id = v;
     info.n = n;
     info.weight = topo_->weights[v];
-    info.neighbors = topo_->neighbors_of(v);
+    info.neighbors =
+        hybrid_ ? NeighborsView(topo_.get(), v, total_degree_[v])
+                : NeighborsView(topo_->neighbors.data() + topo_->offsets[v],
+                                topo_->degree(v));
     info.bits_per_edge = bits_per_edge_;
     infos_.push_back(info);
     node_rng_.push_back(seeder.fork());
@@ -175,6 +223,19 @@ void Network::compute_shard(std::size_t shard) {
       // A crashed node neither computes nor sends; its program state is
       // frozen until recovery (crash-stop, not amnesia).
       if (crashed_now_[v]) continue;
+      if (hybrid_) {
+        const std::size_t fan = total_degree_[v];
+        Inbox inbox(topo_.get(), v, bc_in_kind_.data(), bc_in_msgs_.data(),
+                    fan);
+        Outbox outbox = Outbox::broadcast_view(
+            &bc_out_kind_[v], &bc_out_msgs_[v], fan, bits_per_edge_);
+        programs_[v]->round(infos_[v], inbox, outbox, node_rng_[v]);
+        const std::size_t sends = outbox.broadcast_sends();
+        CLB_EXPECT(sends == 0 || sends == fan,
+                   "implicit-block topology requires all-or-none fan-out "
+                   "(partial sends need per-edge slots)");
+        continue;
+      }
       const std::size_t off = topo_->offsets[v];
       const std::size_t deg = topo_->degree(v);
       Inbox inbox(in_kind_.data() + off, in_msgs_.data() + off, deg);
@@ -205,6 +266,24 @@ void Network::compute_shard(std::size_t shard) {
           }
         }
       }
+    }
+  } catch (...) {
+    shard_error_[shard] = std::current_exception();
+  }
+}
+
+void Network::deliver_shard_hybrid(std::size_t shard) {
+  try {
+    const auto [begin, end] = shard_range_[shard];
+    ShardCounters& sc = shard_[shard];
+    for (NodeId u = begin; u < end; ++u) {
+      if (bc_out_kind_[u] == 0) continue;
+      const std::uint64_t fan = total_degree_[u];
+      const std::uint64_t bits = bc_out_msgs_[u].bits;
+      sc.attempted += fan;
+      sc.delivered += fan;
+      sc.bits_delivered += bits * fan;
+      dbits_node_[u] += bits;
     }
   } catch (...) {
     shard_error_[shard] = std::current_exception();
@@ -413,6 +492,20 @@ void Network::notify_observer() {
   // (sender, out-slot) order, then every echo delivery in the same order —
   // exactly the order the serial seed engine produced.
   const std::size_t round = stats_.rounds;
+  if (hybrid_) {
+    // Expand each sender's broadcast over its merged neighbor cursor —
+    // identical (sender, neighbor-ascending) order to the materialized
+    // normal pass; there is no echo pass (faults are rejected in hybrid
+    // mode). O(total degree): observers are a small-n contract tool.
+    for (NodeId u = 0; u < topo_->n; ++u) {
+      if (bc_in_kind_[u] == 0) continue;
+      for (NodeId v = topo_->neighbor_after(u, graph::kNoNode);
+           v != graph::kNoNode; v = topo_->neighbor_after(u, v)) {
+        config_.on_message(round, u, v, bc_in_msgs_[u]);
+      }
+    }
+    return;
+  }
   const std::size_t* off = topo_->offsets.data();
   const NodeId* nbrs = topo_->neighbors.data();
   const std::uint32_t* rev = topo_->reverse_slot.data();
@@ -454,9 +547,21 @@ bool Network::step() {
   // Phase 2: pull-based delivery (sharded by receiver). Each thread writes
   // only its own receivers' inbound slots — race-free and schedule-
   // independent, hence bit-identical across thread counts.
-  pool_.run(num_shards_,
-            [this](std::size_t shard) { deliver_shard(shard); });
-  rethrow_shard_error();
+  if (hybrid_) {
+    pool_.run(num_shards_,
+              [this](std::size_t shard) { deliver_shard_hybrid(shard); });
+    rethrow_shard_error();
+    // Publish this round's broadcasts: swap arenas (messages move by
+    // pointer — payload capacity is retained, the steady state stays
+    // allocation-free) and clear the new out arena's presence bytes.
+    std::swap(bc_in_kind_, bc_out_kind_);
+    std::swap(bc_in_msgs_, bc_out_msgs_);
+    std::fill(bc_out_kind_.begin(), bc_out_kind_.end(), 0);
+  } else {
+    pool_.run(num_shards_,
+              [this](std::size_t shard) { deliver_shard(shard); });
+    rethrow_shard_error();
+  }
 
   // Merge per-shard counters in shard order (integer sums, so the totals
   // are independent of the shard partition).
@@ -578,6 +683,13 @@ std::vector<std::string> Network::failure_diagnostics() const {
 std::uint64_t Network::bits_on_edge(NodeId u, NodeId v) const {
   CLB_EXPECT(u < topo_->n && v < topo_->n,
              "bits_on_edge: node id out of range");
+  if (hybrid_) {
+    CLB_EXPECT(topo_->has_edge(u, v), "bits_on_edge: no such edge");
+    // Fault-free broadcast: every bit u ever sent was delivered to v (and
+    // vice versa), so the per-sender accumulators are exactly the per-edge
+    // totals of the materialized engine.
+    return dbits_node_[u] + dbits_node_[v];
+  }
   const std::size_t su = topo_->slot_of(v, u);  // u's position in v's list
   CLB_EXPECT(su != Topology::kNoSlot, "bits_on_edge: no such edge");
   const std::size_t sv = topo_->slot_of(u, v);

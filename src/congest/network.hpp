@@ -73,7 +73,10 @@ struct NodeInfo {
   NodeId id = 0;
   std::size_t n = 0;                  ///< number of nodes in the network
   graph::Weight weight = 1;           ///< this node's weight
-  std::span<const NodeId> neighbors;  ///< sorted neighbor ids (shared view)
+  /// Sorted neighbor ids (shared view over the Topology). On a hybrid
+  /// (implicit-block) topology this merges explicit and block-implied
+  /// neighbors arithmetically; the program-facing surface is unchanged.
+  NeighborsView neighbors;
   std::size_t bits_per_edge = 0;      ///< per-round per-edge bandwidth
 };
 
@@ -100,42 +103,83 @@ class Inbox {
 
   class const_iterator {
    public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Slot;
+    using difference_type = std::ptrdiff_t;
+    using pointer = void;
+    using reference = Slot;
+
     const_iterator(const std::uint8_t* kind, const Message* msg)
         : kind_(kind), msg_(msg) {}
-    Slot operator*() const { return Slot(msg_, *kind_ != 0); }
+    const_iterator(const Inbox* box, std::size_t idx, NodeId cur)
+        : box_(box), idx_(idx), cur_(cur) {}
+    Slot operator*() const {
+      if (box_ == nullptr) return Slot(msg_, *kind_ != 0);
+      return Slot(box_->bmsgs_ + cur_, box_->sent_[cur_] != 0);
+    }
     const_iterator& operator++() {
-      ++kind_;
-      ++msg_;
+      if (box_ == nullptr) {
+        ++kind_;
+        ++msg_;
+      } else {
+        ++idx_;
+        cur_ = box_->topo_->neighbor_after(box_->v_, cur_);
+      }
       return *this;
     }
-    bool operator!=(const const_iterator& o) const { return kind_ != o.kind_; }
-    bool operator==(const const_iterator& o) const { return kind_ == o.kind_; }
+    bool operator==(const const_iterator& o) const {
+      return box_ == nullptr ? kind_ == o.kind_ : idx_ == o.idx_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
 
    private:
-    const std::uint8_t* kind_;
-    const Message* msg_;
+    const std::uint8_t* kind_ = nullptr;
+    const Message* msg_ = nullptr;
+    const Inbox* box_ = nullptr;  ///< non-null in hybrid mode
+    std::size_t idx_ = 0;
+    NodeId cur_ = 0;
   };
 
   Inbox() = default;
   Inbox(const std::uint8_t* kind, const Message* msgs, std::size_t count)
       : kind_(kind), msgs_(msgs), count_(count) {}
 
+  /// Hybrid (implicit-topology) view: presence bytes and messages are the
+  /// engine's per-*sender-id* broadcast arena; slot i resolves to the i-th
+  /// smallest merged neighbor of v via Topology rank/select, so neither
+  /// the arena nor this view is ever O(total degree) in memory.
+  Inbox(const Topology* topo, NodeId v, const std::uint8_t* sent,
+        const Message* bmsgs, std::size_t count)
+      : count_(count), topo_(topo), v_(v), sent_(sent), bmsgs_(bmsgs) {}
+
   std::size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
 
   Slot operator[](std::size_t i) const {
-    return Slot(msgs_ + i, kind_[i] != 0);
+    if (topo_ == nullptr) return Slot(msgs_ + i, kind_[i] != 0);
+    const NodeId u = topo_->neighbor_at(v_, i);
+    return Slot(bmsgs_ + u, sent_[u] != 0);
   }
 
-  const_iterator begin() const { return const_iterator(kind_, msgs_); }
+  const_iterator begin() const {
+    if (topo_ == nullptr) return const_iterator(kind_, msgs_);
+    return const_iterator(this, 0, topo_->neighbor_after(v_, graph::kNoNode));
+  }
   const_iterator end() const {
-    return const_iterator(kind_ + count_, msgs_ + count_);
+    if (topo_ == nullptr) {
+      return const_iterator(kind_ + count_, msgs_ + count_);
+    }
+    return const_iterator(this, count_, graph::kNoNode);
   }
 
  private:
   const std::uint8_t* kind_ = nullptr;
   const Message* msgs_ = nullptr;
   std::size_t count_ = 0;
+  const Topology* topo_ = nullptr;  ///< non-null in hybrid mode
+  NodeId v_ = 0;
+  const std::uint8_t* sent_ = nullptr;   ///< per-sender presence (hybrid)
+  const Message* bmsgs_ = nullptr;       ///< per-sender messages (hybrid)
 };
 
 /// Messages to send this round, same slot convention as Inbox. Inside the
@@ -157,6 +201,19 @@ class Outbox {
          std::size_t cap_bits)
       : kind_(kind), msgs_(msgs), count_(count), cap_bits_(cap_bits) {}
 
+  /// Broadcast view (hybrid topologies): one presence byte + one message
+  /// slot backs all `fanout` neighbor slots. Every send in a round must
+  /// carry an identical payload (CONGEST-Broadcast semantics — the
+  /// implicit-block engine delivers by reference, it cannot keep per-edge
+  /// payloads), and the engine verifies all-or-none fan-out after the
+  /// program runs.
+  static Outbox broadcast_view(std::uint8_t* kind, Message* msg,
+                               std::size_t fanout, std::size_t cap_bits) {
+    Outbox ob(kind, msg, fanout, cap_bits);
+    ob.bcast_ = true;
+    return ob;
+  }
+
   /// Queue a message for neighbor slot `i` (at most one per round per edge,
   /// at most cap_bits bits).
   void send(std::size_t slot, const Message& msg);
@@ -165,8 +222,15 @@ class Outbox {
   void send_all(const Message& msg);
 
   std::size_t size() const { return count_; }
-  bool has(std::size_t slot) const { return kind_[slot] != 0; }
-  const Message& message(std::size_t slot) const { return msgs_[slot]; }
+  bool has(std::size_t slot) const { return kind_[bcast_ ? 0 : slot] != 0; }
+  const Message& message(std::size_t slot) const {
+    return msgs_[bcast_ ? 0 : slot];
+  }
+
+  /// Broadcast mode only: how many sends the program issued this round.
+  /// The engine requires 0 or size() — an implicit topology cannot
+  /// represent partial fan-out.
+  std::size_t broadcast_sends() const { return sent_count_; }
 
  private:
   std::vector<std::uint8_t> own_kind_;  ///< engaged only in owning mode
@@ -175,6 +239,8 @@ class Outbox {
   Message* msgs_ = nullptr;
   std::size_t count_ = 0;
   std::size_t cap_bits_ = kUnlimitedBits;
+  bool bcast_ = false;          ///< broadcast (hybrid) mode
+  std::size_t sent_count_ = 0;  ///< sends issued (broadcast mode only)
 };
 
 /// A per-node distributed program. The simulator calls round() once per
@@ -379,6 +445,11 @@ class Network {
   /// slots owned by this shard's receivers — race-free by construction.
   void deliver_shard(std::size_t shard);
 
+  /// Hybrid-mode phase 2 for one shard of *senders*: all accounting is
+  /// arithmetic — a sender that broadcast reaches total_degree neighbors
+  /// by definition, so counters cost O(nodes), never O(edges).
+  void deliver_shard_hybrid(std::size_t shard);
+
   /// Invoke config_.on_message for this round's deliveries in the canonical
   /// order (all normal deliveries in (sender, slot) order, then all echoes
   /// in the same order) — identical for every num_threads.
@@ -394,6 +465,7 @@ class Network {
   bool receiver_lost(NodeId v, std::size_t consume_round) const;
 
   std::shared_ptr<const Topology> topo_;
+  bool hybrid_ = false;  ///< topology carries implicit blocks
   std::size_t bits_per_edge_;
   NetworkConfig config_;
   std::optional<FaultInjector> injector_;  ///< engaged iff faults enabled
@@ -419,6 +491,19 @@ class Network {
   /// dbits_ accumulate as bulk SIMD passes instead of per-slot adds. Scratch
   /// only — not consulted by the observed/faulted paths.
   std::vector<std::uint32_t> in_bits_;
+
+  // Hybrid-mode broadcast arenas, one entry per *node* (not per slot):
+  // a sender's single outbound message reaches every merged neighbor, so
+  // per-round memory is O(n) however many edges the blocks imply.
+  // bc_in_* holds the previous round's broadcasts (receivers resolve
+  // senders by id); dbits_node_ accumulates per-sender delivered bits for
+  // bits_on_edge.
+  std::vector<std::uint8_t> bc_out_kind_;
+  std::vector<Message> bc_out_msgs_;
+  std::vector<std::uint8_t> bc_in_kind_;
+  std::vector<Message> bc_in_msgs_;
+  std::vector<std::uint64_t> dbits_node_;
+  std::vector<std::size_t> total_degree_;  ///< cached merged degrees
 
   std::vector<std::uint8_t> was_crashed_;  ///< crash state last round
   std::vector<std::uint8_t> crashed_now_;  ///< crash state this round

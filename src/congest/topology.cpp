@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/expect.hpp"
+
 namespace congestlb::congest {
 
 std::size_t Topology::slot_of(NodeId v, NodeId u) const {
@@ -11,30 +13,104 @@ std::size_t Topology::slot_of(NodeId v, NodeId u) const {
   return static_cast<std::size_t>(it - nb.begin());
 }
 
+bool Topology::has_edge(NodeId u, NodeId v) const {
+  if (u == v) return false;
+  if (slot_of(v, u) != kNoSlot) return true;
+  for (const auto& b : blocks) {
+    if (b.is_edge(u, v)) return true;
+  }
+  return false;
+}
+
+std::size_t Topology::count_neighbors_leq(NodeId v, NodeId x) const {
+  const auto nb = neighbors_of(v);
+  std::size_t c = static_cast<std::size_t>(
+      std::upper_bound(nb.begin(), nb.end(), x) - nb.begin());
+  for (const auto& b : blocks) c += b.count_leq(v, x);
+  return c;
+}
+
+NodeId Topology::neighbor_at(NodeId v, std::size_t slot) const {
+  if (blocks.empty()) return neighbors_of(v)[slot];
+  // Binary search for the smallest id x with count_neighbors_leq(v, x) >
+  // slot; that x is the slot-th smallest merged neighbor.
+  NodeId lo = 0, hi = n - 1;
+  while (lo < hi) {
+    const NodeId mid = lo + (hi - lo) / 2;
+    if (count_neighbors_leq(v, mid) <= slot) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+NodeId Topology::neighbor_after(NodeId v, NodeId x) const {
+  const auto nb = neighbors_of(v);
+  NodeId next = graph::kNoNode;
+  const auto it = x == graph::kNoNode
+                      ? nb.begin()
+                      : std::upper_bound(nb.begin(), nb.end(), x);
+  if (it != nb.end()) next = *it;
+  for (const auto& b : blocks) {
+    const NodeId c = b.neighbor_after(v, x);
+    if (c < next) next = c;
+  }
+  return next;
+}
+
 std::shared_ptr<const Topology> Topology::build(const graph::Graph& g) {
   auto topo = std::make_shared<Topology>();
   topo->n = g.num_nodes();
-  topo->m = g.num_edges();
+  topo->m = g.num_explicit_edges();
+  topo->implicit_edges = g.num_implicit_edges();
+  topo->blocks = g.implicit_blocks();
 
   graph::Csr csr = graph::export_csr(g);
-  topo->offsets = std::move(csr.offsets);
-  topo->neighbors = std::move(csr.targets);
+  topo->own_offsets_ = std::move(csr.offsets);
+  topo->own_neighbors_ = std::move(csr.targets);
 
-  topo->weights.resize(topo->n);
-  for (NodeId v = 0; v < topo->n; ++v) topo->weights[v] = g.weight(v);
+  topo->own_weights_.resize(topo->n);
+  for (NodeId v = 0; v < topo->n; ++v) topo->own_weights_[v] = g.weight(v);
 
   // reverse_slot via the cursor trick: iterating senders u in ascending
   // order visits, for each receiver v, the entries "u appears in v's sorted
   // list" in ascending u — so u's position in v's list is exactly how many
   // earlier senders were adjacent to v.
-  topo->reverse_slot.resize(topo->neighbors.size());
+  topo->own_reverse_.resize(topo->own_neighbors_.size());
   std::vector<std::uint32_t> cursor(topo->n, 0);
   for (NodeId u = 0; u < topo->n; ++u) {
-    for (std::size_t d = topo->offsets[u]; d < topo->offsets[u + 1]; ++d) {
-      const NodeId v = topo->neighbors[d];
-      topo->reverse_slot[d] = cursor[v]++;
+    for (std::size_t d = topo->own_offsets_[u]; d < topo->own_offsets_[u + 1];
+         ++d) {
+      const NodeId v = topo->own_neighbors_[d];
+      topo->own_reverse_[d] = cursor[v]++;
     }
   }
+
+  topo->offsets = topo->own_offsets_;
+  topo->neighbors = topo->own_neighbors_;
+  topo->reverse_slot = topo->own_reverse_;
+  topo->weights = topo->own_weights_;
+  return topo;
+}
+
+std::shared_ptr<const Topology> Topology::from_snapshot(graph::MappedCsr snap) {
+  CLB_EXPECT(snap.offsets.size() == snap.n + 1 &&
+                 snap.targets.size() == 2 * snap.m &&
+                 snap.reverse_slot.size() == 2 * snap.m &&
+                 snap.weights.size() == snap.n,
+             "snapshot array sizes inconsistent with header");
+  auto topo = std::make_shared<Topology>();
+  topo->n = snap.n;
+  topo->m = snap.m;
+  topo->implicit_edges = snap.implicit_edges;
+  topo->blocks = std::move(snap.blocks);
+  topo->offsets = snap.offsets;
+  topo->neighbors = snap.targets;
+  topo->reverse_slot = snap.reverse_slot;
+  topo->weights = snap.weights;
+  topo->keepalive_ = std::move(snap.keepalive);
   return topo;
 }
 
@@ -42,22 +118,22 @@ std::vector<std::pair<NodeId, NodeId>> edge_tiled_shards(
     const Topology& topo, std::size_t num_shards) {
   if (num_shards == 0) num_shards = 1;
   const std::size_t n = topo.n;
-  // Prefix cost of the first v nodes: directed slots + one unit per node.
-  // offsets[v] + v is strictly increasing, so each boundary is a binary
-  // search for the first prefix at or past the shard's proportional target.
-  const auto prefix_cost = [&](std::size_t v) { return topo.offsets[v] + v; };
-  const std::size_t total = prefix_cost(n);
+  // Prefix cost of the first v nodes: directed slots (explicit + implicit,
+  // the latter in closed form per block) + one unit per node. Strictly
+  // increasing in v, so each boundary is a binary search for the first
+  // prefix at or past the shard's proportional target.
+  const std::uint64_t total = topo.prefix_cost(n);
   std::vector<std::pair<NodeId, NodeId>> ranges(num_shards);
   std::size_t begin = 0;
   for (std::size_t s = 0; s < num_shards; ++s) {
     std::size_t end = n;
     if (s + 1 < num_shards) {
-      const std::size_t target = total * (s + 1) / num_shards;
+      const std::uint64_t target = total * (s + 1) / num_shards;
       std::size_t lo = begin;
       std::size_t hi = n;
       while (lo < hi) {
         const std::size_t mid = lo + (hi - lo) / 2;
-        if (prefix_cost(mid) < target) {
+        if (topo.prefix_cost(mid) < target) {
           lo = mid + 1;
         } else {
           hi = mid;

@@ -11,15 +11,28 @@
 // v = neighbors[d], reverse_slot[d] is the position of u in v's neighbor
 // list, so the receiver-side slot of the message u -> v is
 // offsets[v] + reverse_slot[d], an O(1) lookup.
+//
+// Hybrid topologies: alongside the explicit CSR a topology may carry a
+// small table of ImplicitBlock descriptors (cliques, bicliques, the
+// Figure 2 anti-matching grids) whose edges are never stored. degree()
+// and neighbors_of() keep their historical *explicit* meaning — the
+// engine's per-slot arenas are sized by them — while total_degree(),
+// count_neighbors_leq(), neighbor_at(), and neighbor_after() rank/select
+// over the merged explicit+implicit neighbor set arithmetically. The CSR
+// arrays are spans so a topology can either own its storage (build()) or
+// borrow it from a memory-mapped snapshot (from_snapshot()) without
+// copying.
 
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/io.hpp"
 
 namespace congestlb::congest {
 
@@ -27,14 +40,32 @@ using graph::NodeId;
 
 struct Topology {
   std::size_t n = 0;  ///< nodes
-  std::size_t m = 0;  ///< undirected edges; 2m directed slots
+  std::size_t m = 0;  ///< explicit undirected edges; 2m directed slots
+  std::uint64_t implicit_edges = 0;  ///< block-implied undirected edges
 
-  std::vector<std::size_t> offsets;        ///< size n+1
-  std::vector<NodeId> neighbors;           ///< size 2m, sorted per node
-  std::vector<std::uint32_t> reverse_slot; ///< size 2m, see file comment
-  std::vector<graph::Weight> weights;      ///< size n
+  std::span<const std::size_t> offsets;        ///< size n+1
+  std::span<const NodeId> neighbors;           ///< size 2m, sorted per node
+  std::span<const std::uint32_t> reverse_slot; ///< size 2m, see file comment
+  std::span<const graph::Weight> weights;      ///< size n
 
+  std::vector<graph::ImplicitBlock> blocks;    ///< implicit-edge table
+
+  bool has_implicit() const { return !blocks.empty(); }
+
+  /// Explicit slot count of v (the engine's per-slot arenas are sized by
+  /// this; block-implied neighbors are not slots).
   std::size_t degree(NodeId v) const { return offsets[v + 1] - offsets[v]; }
+
+  std::size_t implicit_degree(NodeId v) const {
+    std::size_t d = 0;
+    for (const auto& b : blocks) d += b.degree_of(v);
+    return d;
+  }
+
+  /// Explicit + block-implied neighbors of v.
+  std::size_t total_degree(NodeId v) const {
+    return degree(v) + implicit_degree(v);
+  }
 
   std::span<const NodeId> neighbors_of(NodeId v) const {
     return {neighbors.data() + offsets[v], degree(v)};
@@ -42,22 +73,151 @@ struct Topology {
 
   static constexpr std::size_t kNoSlot = ~static_cast<std::size_t>(0);
 
-  /// Position of u in v's neighbor list, or kNoSlot when {u,v} is not an
-  /// edge. O(log deg) — used only off the hot path (bits_on_edge).
+  /// Position of u in v's explicit neighbor list, or kNoSlot when {u,v} is
+  /// not an explicit edge. O(log deg) — used only off the hot path
+  /// (bits_on_edge).
   std::size_t slot_of(NodeId v, NodeId u) const;
 
-  /// Snapshot g's adjacency. The graph may be mutated or destroyed
-  /// afterwards; the topology is self-contained.
+  /// Explicit or block-implied adjacency test.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Rank over the merged neighbor set: how many neighbors of v (explicit
+  /// and block-implied) have id <= x. O(log deg + |blocks|).
+  std::size_t count_neighbors_leq(NodeId v, NodeId x) const;
+
+  /// Select: the slot-th smallest neighbor of v in the merged set, for
+  /// slot < total_degree(v). O(log n * (log deg + |blocks|)) via binary
+  /// search over count_neighbors_leq — explicit-only topologies take the
+  /// O(1) array path.
+  NodeId neighbor_at(NodeId v, std::size_t slot) const;
+
+  /// Smallest merged-set neighbor of v with id > x, or graph::kNoNode.
+  /// Pass graph::kNoNode as x to start iteration. This is the sequential
+  /// neighbor cursor: O(log deg + |blocks|) per step, no per-node state.
+  NodeId neighbor_after(NodeId v, NodeId x) const;
+
+  /// Sum of total_degree(w) over w < v — the implicit-aware prefix cost
+  /// edge-tiled sharding balances on. Strictly increasing in v.
+  std::uint64_t prefix_cost(NodeId v) const {
+    std::uint64_t c = offsets[v] + v;
+    for (const auto& b : blocks) c += b.degree_prefix(v);
+    return c;
+  }
+
+  /// Snapshot g's adjacency (and implicit-block table). The graph may be
+  /// mutated or destroyed afterwards; the topology is self-contained.
   static std::shared_ptr<const Topology> build(const graph::Graph& g);
+
+  /// Adopt a (possibly memory-mapped) CSR snapshot produced by
+  /// graph::write_topology_snapshot — zero-copy: the topology's spans alias
+  /// the mapping, which is kept alive for the topology's lifetime.
+  static std::shared_ptr<const Topology> from_snapshot(graph::MappedCsr snap);
+
+ private:
+  // Owned backing for build(); empty when viewing a snapshot.
+  std::vector<std::size_t> own_offsets_;
+  std::vector<NodeId> own_neighbors_;
+  std::vector<std::uint32_t> own_reverse_;
+  std::vector<graph::Weight> own_weights_;
+  // Keeps a snapshot mapping alive while spans alias it.
+  std::shared_ptr<const void> keepalive_;
+};
+
+/// A node's merged (explicit + implicit) neighbor list, presented with the
+/// same surface as a sorted std::span<const NodeId> — size(), operator[],
+/// forward iteration — so NodeProgram code is representation-agnostic. Two
+/// modes:
+///  - dense: wraps the CSR row directly; operator[] and iteration are
+///    pointer arithmetic, exactly the old span behavior;
+///  - hybrid: backed by Topology rank/select arithmetic; operator[] is a
+///    counting-select (O(log n * |blocks|)) and iteration walks
+///    neighbor_after, O(log deg + |blocks|) per step with no per-node
+///    state — a grid node with millions of implied neighbors costs nothing
+///    until visited.
+class NeighborsView {
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = NodeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const NodeId*;
+    using reference = NodeId;
+
+    const_iterator() = default;
+    const_iterator(const NodeId* p) : ptr_(p) {}
+    const_iterator(const Topology* topo, NodeId v, std::size_t idx, NodeId cur)
+        : topo_(topo), v_(v), idx_(idx), cur_(cur) {}
+
+    NodeId operator*() const { return ptr_ != nullptr ? *ptr_ : cur_; }
+    const_iterator& operator++() {
+      if (ptr_ != nullptr) {
+        ++ptr_;
+      } else {
+        ++idx_;
+        cur_ = topo_->neighbor_after(v_, cur_);
+      }
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    bool operator==(const const_iterator& o) const {
+      return ptr_ != nullptr ? ptr_ == o.ptr_ : idx_ == o.idx_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    const NodeId* ptr_ = nullptr;  ///< dense mode; null in hybrid mode
+    const Topology* topo_ = nullptr;
+    NodeId v_ = 0;
+    std::size_t idx_ = 0;
+    NodeId cur_ = 0;
+  };
+
+  NeighborsView() = default;
+  NeighborsView(const NodeId* data, std::size_t count)
+      : data_(data), count_(count) {}
+  NeighborsView(const Topology* topo, NodeId v, std::size_t count)
+      : topo_(topo), v_(v), count_(count) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  NodeId operator[](std::size_t i) const {
+    return data_ != nullptr ? data_[i] : topo_->neighbor_at(v_, i);
+  }
+  NodeId front() const { return (*this)[0]; }
+  NodeId back() const { return (*this)[count_ - 1]; }
+
+  const_iterator begin() const {
+    if (data_ != nullptr) return const_iterator(data_);
+    return const_iterator(topo_, v_, 0,
+                          topo_->neighbor_after(v_, graph::kNoNode));
+  }
+  const_iterator end() const {
+    if (data_ != nullptr) return const_iterator(data_ + count_);
+    return const_iterator(topo_, v_, count_, graph::kNoNode);
+  }
+
+ private:
+  const NodeId* data_ = nullptr;  ///< dense mode
+  const Topology* topo_ = nullptr;  ///< hybrid mode
+  NodeId v_ = 0;
+  std::size_t count_ = 0;
 };
 
 /// Edge-tiled shard partition: `num_shards` contiguous [begin, end) node
 /// ranges whose boundaries balance per-shard cost, where node v costs
-/// degree(v) + 1 — directed message slots dominate both engine phases, the
-/// +1 keeps degree-0 nodes from all landing in one shard's compute phase.
-/// Unlike an equal-node split, a high-degree gadget hub (the clique/biclique
-/// blocks of the paper's F_x̄/G_x̄ constructions) gets a shard of its own
-/// instead of skewing whichever shard its id falls into.
+/// total_degree(v) + 1 — directed message slots dominate both engine
+/// phases, the +1 keeps degree-0 nodes from all landing in one shard's
+/// compute phase. Unlike an equal-node split, a high-degree gadget hub (the
+/// clique/biclique blocks of the paper's F_x̄/G_x̄ constructions) gets a
+/// shard of its own instead of skewing whichever shard its id falls into.
+/// Implicit-block degrees count arithmetically, so the 10^10-edge scaled
+/// families still balance on edges without touching them.
 ///
 /// A pure function of (topology, num_shards) — never of thread scheduling —
 /// so the parallel round executor built on it stays bit-identical to serial

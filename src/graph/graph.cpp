@@ -39,7 +39,11 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
   check_node(v);
   if (u == v) return false;
   const auto& nu = adj_[u];
-  return std::binary_search(nu.begin(), nu.end(), v);
+  if (std::binary_search(nu.begin(), nu.end(), v)) return true;
+  for (const auto& b : blocks_) {
+    if (b.is_edge(u, v)) return true;
+  }
+  return false;
 }
 
 void Graph::reserve_edges(std::size_t expected_edges) {
@@ -86,8 +90,42 @@ std::size_t Graph::add_edges(
   return added;
 }
 
+namespace {
+
+/// True when `nodes` is exactly the ascending contiguous range
+/// [nodes.front(), nodes.front() + size).
+bool is_contiguous_run(std::span<const NodeId> nodes) {
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i] != nodes[0] + i) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Graph::add_implicit_block(const ImplicitBlock& b) {
+  CLB_EXPECT(b.max_node_excl() <= adj_.size(),
+             "implicit block range out of bounds");
+  blocks_.push_back(b);
+  implicit_edges_ += b.num_edges();
+}
+
+bool Graph::in_implicit_block(NodeId v) const {
+  for (const auto& b : blocks_) {
+    if (b.contains(v)) return true;
+  }
+  return false;
+}
+
 void Graph::add_clique(std::span<const NodeId> nodes) {
   if (nodes.size() < 2) return;
+  const std::size_t clique_edges = nodes.size() * (nodes.size() - 1) / 2;
+  if (clique_edges >= implicit_threshold_ && is_contiguous_run(nodes)) {
+    check_node(nodes.back());
+    add_implicit_block(
+        ImplicitBlock::clique(nodes.front(), nodes.front() + nodes.size()));
+    return;
+  }
   std::size_t old_total = 0;
   for (NodeId v : nodes) {
     check_node(v);
@@ -110,6 +148,16 @@ void Graph::add_clique(std::span<const NodeId> nodes) {
 void Graph::add_biclique(std::span<const NodeId> a,
                          std::span<const NodeId> b) {
   if (a.empty() || b.empty()) return;
+  if (a.size() * b.size() >= implicit_threshold_ && is_contiguous_run(a) &&
+      is_contiguous_run(b)) {
+    check_node(a.back());
+    check_node(b.back());
+    add_implicit_block(ImplicitBlock::biclique(a.front(),
+                                               a.front() + a.size(),
+                                               b.front(),
+                                               b.front() + b.size()));
+    return;
+  }
   std::size_t old_total = 0;
   for (NodeId u : a) {
     check_node(u);
@@ -135,14 +183,75 @@ void Graph::add_biclique(std::span<const NodeId> a,
   num_edges_ += (new_total - old_total) / 2;
 }
 
+void Graph::add_anti_matching_grid(NodeId base, std::size_t stride,
+                                   std::size_t rows, std::size_t row_len) {
+  const auto block =
+      ImplicitBlock::anti_matching_grid(base, stride, rows, row_len);
+  if (block.num_edges() >= implicit_threshold_) {
+    add_implicit_block(block);
+    return;
+  }
+  CLB_EXPECT(block.max_node_excl() <= adj_.size(),
+             "anti-matching grid range out of bounds");
+  std::vector<std::pair<NodeId, NodeId>> batch;
+  batch.reserve(static_cast<std::size_t>(block.num_edges()));
+  block.for_each_edge([&](NodeId u, NodeId v) { batch.emplace_back(u, v); });
+  add_edges(batch);
+}
+
 const std::vector<NodeId>& Graph::neighbors(NodeId v) const {
+  check_node(v);
+  CLB_EXPECT(!in_implicit_block(v),
+             "node is covered by an implicit block; use for_each_neighbor "
+             "(or explicit_neighbors) instead of neighbors()");
+  return adj_[v];
+}
+
+const std::vector<NodeId>& Graph::explicit_neighbors(NodeId v) const {
   check_node(v);
   return adj_[v];
 }
 
+std::size_t Graph::explicit_degree(NodeId v) const {
+  check_node(v);
+  return adj_[v].size();
+}
+
+std::size_t Graph::implicit_degree(NodeId v) const {
+  check_node(v);
+  std::size_t d = 0;
+  for (const auto& b : blocks_) d += b.degree_of(v);
+  return d;
+}
+
+Graph Graph::materialized() const {
+  Graph g = *this;
+  g.blocks_.clear();
+  g.implicit_edges_ = 0;
+  g.implicit_threshold_ = kNeverImplicit;
+  std::vector<std::pair<NodeId, NodeId>> batch;
+  constexpr std::size_t kChunk = 1 << 16;
+  batch.reserve(kChunk);
+  for (const auto& b : blocks_) {
+    b.for_each_edge([&](NodeId u, NodeId v) {
+      batch.emplace_back(u, v);
+      if (batch.size() >= kChunk) {
+        g.add_edges(batch);
+        batch.clear();
+      }
+    });
+  }
+  if (!batch.empty()) g.add_edges(batch);
+  return g;
+}
+
 std::size_t Graph::max_degree() const {
   std::size_t d = 0;
-  for (const auto& nb : adj_) d = std::max(d, nb.size());
+  if (blocks_.empty()) {
+    for (const auto& nb : adj_) d = std::max(d, nb.size());
+    return d;
+  }
+  for (NodeId v = 0; v < adj_.size(); ++v) d = std::max(d, degree(v));
   return d;
 }
 
@@ -189,10 +298,26 @@ bool Graph::is_independent_set(std::span<const NodeId> nodes) const {
       }
     }
   }
+  // Implicit blocks: each is dense enough that a direct member scan is
+  // cheap relative to |I| (witness sets are small; blocks are checked
+  // pairwise only among their own members).
+  for (const auto& b : blocks_) {
+    std::vector<NodeId> members;
+    for (NodeId v : sorted) {
+      if (b.contains(v)) members.push_back(v);
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (b.is_edge(members[i], members[j])) return false;
+      }
+    }
+  }
   return true;
 }
 
 Graph Graph::induced_subgraph(std::span<const NodeId> nodes) const {
+  CLB_EXPECT(blocks_.empty(),
+             "induced_subgraph requires a block-free graph; materialize() first");
   std::vector<NodeId> order(nodes.begin(), nodes.end());
   std::vector<NodeId> sorted = order;
   std::sort(sorted.begin(), sorted.end());
@@ -219,6 +344,8 @@ Graph Graph::induced_subgraph(std::span<const NodeId> nodes) const {
 }
 
 Graph Graph::complement() const {
+  CLB_EXPECT(blocks_.empty(),
+             "complement requires a block-free graph; materialize() first");
   Graph comp(num_nodes());
   for (NodeId v = 0; v < num_nodes(); ++v) {
     comp.set_weight(v, weight_[v]);
@@ -247,7 +374,8 @@ void Graph::set_label(NodeId v, std::string label) {
 }
 
 bool Graph::operator==(const Graph& other) const {
-  return adj_ == other.adj_ && weight_ == other.weight_;
+  return adj_ == other.adj_ && weight_ == other.weight_ &&
+         blocks_ == other.blocks_;
 }
 
 Csr export_csr(const Graph& g) {
@@ -255,21 +383,24 @@ Csr export_csr(const Graph& g) {
   const std::size_t n = g.num_nodes();
   csr.offsets.resize(n + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
-    csr.offsets[v + 1] = csr.offsets[v] + g.degree(v);
+    csr.offsets[v + 1] = csr.offsets[v] + g.explicit_degree(v);
   }
   csr.targets.resize(csr.offsets[n]);
   for (NodeId v = 0; v < n; ++v) {
-    const auto& nb = g.neighbors(v);
+    const auto& nb = g.explicit_neighbors(v);
     std::copy(nb.begin(), nb.end(), csr.targets.begin() + csr.offsets[v]);
   }
   return csr;
 }
 
 std::vector<std::pair<NodeId, NodeId>> edge_list(const Graph& g) {
+  CLB_EXPECT(!g.has_implicit_blocks(),
+             "edge_list would materialize implicit blocks; iterate "
+             "implicit_blocks() or materialize() deliberately");
   std::vector<std::pair<NodeId, NodeId>> edges;
   edges.reserve(g.num_edges());
   for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    for (NodeId v : g.neighbors(u)) {
+    for (NodeId v : g.explicit_neighbors(u)) {
       if (u < v) edges.emplace_back(u, v);
     }
   }

@@ -5,6 +5,14 @@
 // weights are first-class. Adjacency lists are kept sorted, which makes
 // has_edge O(log deg) and lets the independent-set verifier run in
 // O(|I| log n) per member.
+//
+// Dense gadget structure (cliques, bicliques, the Figure 2 anti-matching
+// grids) can additionally be stored *implicitly*: above a caller-set edge
+// threshold, add_clique / add_biclique / add_anti_matching_grid record an
+// ImplicitBlock descriptor instead of materializing O(n^2) adjacency, and
+// degrees / adjacency tests / neighbor iteration combine the explicit CSR
+// with block arithmetic. The default threshold is kNeverImplicit, so
+// existing callers see byte-identical behavior unless they opt in.
 
 #pragma once
 
@@ -14,9 +22,10 @@
 #include <utility>
 #include <vector>
 
+#include "graph/implicit.hpp"
+
 namespace congestlb::graph {
 
-using NodeId = std::size_t;
 using Weight = std::int64_t;
 
 /// An undirected simple graph with integer node weights and optional node
@@ -27,7 +36,15 @@ class Graph {
   explicit Graph(std::size_t n = 0, Weight default_weight = 1);
 
   std::size_t num_nodes() const { return adj_.size(); }
-  std::size_t num_edges() const { return num_edges_; }
+
+  /// Total edges, explicit + implicit-block. Fits std::size_t on 64-bit
+  /// targets even for the 10^10-edge scaled families.
+  std::size_t num_edges() const {
+    return num_edges_ + static_cast<std::size_t>(implicit_edges_);
+  }
+
+  std::size_t num_explicit_edges() const { return num_edges_; }
+  std::uint64_t num_implicit_edges() const { return implicit_edges_; }
 
   /// Append a new isolated node; returns its id.
   NodeId add_node(Weight w = 1, std::string label = {});
@@ -52,17 +69,86 @@ class Graph {
 
   /// Add all C(|nodes|,2) edges among `nodes` (ids must be distinct).
   /// Bulk path: adjacency is appended unsorted and sorted once per node.
+  /// When `nodes` is a contiguous ascending id range and the clique's edge
+  /// count reaches the implicit threshold, an ImplicitBlock is recorded
+  /// instead (precondition: none of those edges already exist).
   void add_clique(std::span<const NodeId> nodes);
 
   /// Add all |a|*|b| edges between disjoint sets a and b. Bulk path like
-  /// add_clique.
+  /// add_clique; records an ImplicitBlock above the threshold when both
+  /// sides are contiguous ascending ranges.
   void add_biclique(std::span<const NodeId> a, std::span<const NodeId> b);
 
-  /// Neighbors of v, sorted ascending.
+  /// Add the Figure 2 anti-matching union over a rows x row_len grid: node
+  /// (i, r) is base + i*stride + r, edge (i,r1)~(j,r2) iff i != j and
+  /// r1 != r2. Records an ImplicitBlock above the threshold, otherwise
+  /// materializes.
+  void add_anti_matching_grid(NodeId base, std::size_t stride,
+                              std::size_t rows, std::size_t row_len);
+
+  /// Minimum block edge count at which the builders above record an
+  /// ImplicitBlock instead of materializing. Defaults to kNeverImplicit.
+  static constexpr std::size_t kNeverImplicit =
+      std::numeric_limits<std::size_t>::max();
+  void set_implicit_block_threshold(std::size_t min_edges) {
+    implicit_threshold_ = min_edges;
+  }
+  std::size_t implicit_block_threshold() const { return implicit_threshold_; }
+
+  /// Record a block descriptor directly. Ranges must be in bounds; the
+  /// block's edges must be disjoint from all explicit edges and from every
+  /// other block (the arithmetic adds degrees linearly and cannot dedupe).
+  void add_implicit_block(const ImplicitBlock& b);
+
+  const std::vector<ImplicitBlock>& implicit_blocks() const { return blocks_; }
+  bool has_implicit_blocks() const { return !blocks_.empty(); }
+  bool in_implicit_block(NodeId v) const;
+
+  /// Explicit neighbors of v, sorted ascending. Throws when v is covered by
+  /// an implicit block: iterating only the explicit list would silently
+  /// miss block neighbors — such callers must use for_each_neighbor (or
+  /// explicit_neighbors when they really mean the explicit part).
   const std::vector<NodeId>& neighbors(NodeId v) const;
 
-  std::size_t degree(NodeId v) const { return neighbors(v).size(); }
+  /// The explicit adjacency list alone, block members included. Callers own
+  /// the responsibility of also consulting implicit_blocks().
+  const std::vector<NodeId>& explicit_neighbors(NodeId v) const;
+
+  std::size_t explicit_degree(NodeId v) const;
+  std::size_t implicit_degree(NodeId v) const;
+  std::size_t degree(NodeId v) const {
+    return explicit_degree(v) + implicit_degree(v);
+  }
   std::size_t max_degree() const;
+
+  /// Visit every neighbor of v (explicit and block-implied) in ascending id
+  /// order. This is the one neighbor cursor all block-aware consumers
+  /// share; on a block-free graph it degenerates to the plain sorted list.
+  template <class Fn>
+  void for_each_neighbor(NodeId v, Fn&& fn) const {
+    const auto& ex = neighbors_unchecked(v);
+    if (blocks_.empty()) {
+      for (NodeId u : ex) fn(u);
+      return;
+    }
+    std::size_t i = 0;
+    NodeId cur = kNoNode;  // kNoNode = "before the first neighbor"
+    while (true) {
+      NodeId next = i < ex.size() ? ex[i] : kNoNode;
+      for (const auto& b : blocks_) {
+        const NodeId c = b.neighbor_after(v, cur);
+        if (c < next) next = c;
+      }
+      if (next == kNoNode) break;
+      fn(next);
+      cur = next;
+      if (i < ex.size() && ex[i] == next) ++i;
+    }
+  }
+
+  /// A copy with every implicit block expanded into explicit adjacency —
+  /// the reference representation for the small-n bit-identity contracts.
+  Graph materialized() const;
 
   Weight weight(NodeId v) const;
   void set_weight(NodeId v, Weight w);
@@ -79,21 +165,30 @@ class Graph {
   bool is_independent_set(std::span<const NodeId> nodes) const;
 
   /// Induced subgraph on `nodes` (ids must be distinct). Node i of the result
-  /// corresponds to nodes[i]; weights and labels are carried over.
+  /// corresponds to nodes[i]; weights and labels are carried over. Requires
+  /// a block-free graph (materialize first).
   Graph induced_subgraph(std::span<const NodeId> nodes) const;
 
   /// The complement graph (same nodes/weights, complemented edge set).
+  /// Requires a block-free graph (materialize first).
   Graph complement() const;
 
   const std::string& label(NodeId v) const;
   void set_label(NodeId v, std::string label);
 
-  /// Structural equality: same node count, weights, and edge sets.
-  /// Labels are ignored (they are presentation-only).
+  /// Structural equality at the representation level: same node count,
+  /// weights, explicit edge sets, and block tables. A materialized clique
+  /// and its implicit twin compare unequal — use materialized() on both
+  /// sides for edge-set equality.
   bool operator==(const Graph& other) const;
 
  private:
   void check_node(NodeId v) const;
+
+  const std::vector<NodeId>& neighbors_unchecked(NodeId v) const {
+    check_node(v);
+    return adj_[v];
+  }
 
   /// Sort + dedupe v's adjacency after a bulk append; throws on a self
   /// entry. Returns the deduped size.
@@ -103,17 +198,25 @@ class Graph {
   std::vector<Weight> weight_;
   std::vector<std::string> label_;
   std::size_t num_edges_ = 0;
+
+  std::vector<ImplicitBlock> blocks_;
+  std::uint64_t implicit_edges_ = 0;
+  std::size_t implicit_threshold_ = kNeverImplicit;
 };
 
-/// All edges of g as (u,v) pairs with u < v, lexicographically sorted.
+/// All *explicit* edges of g as (u,v) pairs with u < v, lexicographically
+/// sorted. Throws on a graph with implicit blocks — callers there must
+/// iterate blocks explicitly (or materialize) so 10^10-edge families are
+/// never expanded by accident.
 std::vector<std::pair<NodeId, NodeId>> edge_list(const Graph& g);
 
-/// Compressed-sparse-row view of a graph's adjacency: targets[offsets[v] ..
-/// offsets[v+1]) are v's neighbors, sorted ascending. This is the flat
-/// snapshot the CONGEST engine's Topology is built from.
+/// Compressed-sparse-row view of a graph's *explicit* adjacency:
+/// targets[offsets[v] .. offsets[v+1]) are v's explicit neighbors, sorted
+/// ascending. This is the flat snapshot the CONGEST engine's Topology is
+/// built from; implicit blocks ride alongside it, never inside it.
 struct Csr {
   std::vector<std::size_t> offsets;  ///< size num_nodes()+1
-  std::vector<NodeId> targets;       ///< size 2*num_edges()
+  std::vector<NodeId> targets;       ///< size 2*num_explicit_edges()
 };
 
 Csr export_csr(const Graph& g);

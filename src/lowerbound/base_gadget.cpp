@@ -5,11 +5,15 @@
 namespace congestlb::lb {
 
 BaseGadget::BaseGadget(GadgetParams params)
+    : BaseGadget(std::move(params), BuildOptions{}) {}
+
+BaseGadget::BaseGadget(GadgetParams params, const BuildOptions& opts)
     : params_(std::move(params)), g_(params_.nodes_per_copy()) {
   const std::size_t k = params_.k;
   const std::size_t m_pos = params_.num_positions();
   const std::size_t p = params_.clique_size();
   const auto& code = *params_.code;
+  g_.set_implicit_block_threshold(opts.implicit_threshold);
 
   codewords_.reserve(k);
   for (std::size_t m = 0; m < k; ++m) {
@@ -19,13 +23,15 @@ BaseGadget::BaseGadget(GadgetParams params)
   }
 
   // Labels (presentation only; used by the figure generator).
-  for (std::size_t m = 0; m < k; ++m) {
-    g_.set_label(a_node(m), "v" + std::to_string(m + 1));
-  }
-  for (std::size_t h = 0; h < m_pos; ++h) {
-    for (std::size_t r = 0; r < p; ++r) {
-      g_.set_label(code_node(h, r), "s(" + std::to_string(h + 1) + "," +
-                                        std::to_string(r + 1) + ")");
+  if (!opts.skip_labels) {
+    for (std::size_t m = 0; m < k; ++m) {
+      g_.set_label(a_node(m), "v" + std::to_string(m + 1));
+    }
+    for (std::size_t h = 0; h < m_pos; ++h) {
+      for (std::size_t r = 0; r < p; ++r) {
+        g_.set_label(code_node(h, r), "s(" + std::to_string(h + 1) + "," +
+                                          std::to_string(r + 1) + ")");
+      }
     }
   }
 

@@ -19,9 +19,25 @@ namespace congestlb::lb {
 
 using graph::NodeId;
 
+/// Construction-time options shared by the gadget-family builders.
+struct BuildOptions {
+  /// Minimum dense-substructure edge count at which the builders record an
+  /// ImplicitBlock (clique / anti-matching grid) instead of materializing
+  /// adjacency. Graph::kNeverImplicit — the default — reproduces the
+  /// materialized construction edge-for-edge; a finite threshold keeps
+  /// build time and resident memory proportional to the *explicit* edges
+  /// (the codeword stars), which is what makes the 10^6-node scaled
+  /// families buildable.
+  std::size_t implicit_threshold = graph::Graph::kNeverImplicit;
+  /// Skip the presentation-only node labels (millions of label strings
+  /// would dwarf the topology itself at scale).
+  bool skip_labels = false;
+};
+
 class BaseGadget {
  public:
   explicit BaseGadget(GadgetParams params);
+  BaseGadget(GadgetParams params, const BuildOptions& opts);
 
   const GadgetParams& params() const { return params_; }
   const graph::Graph& graph() const { return g_; }

@@ -1,5 +1,6 @@
 #include "lowerbound/linear_family.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/expect.hpp"
@@ -7,49 +8,62 @@
 namespace congestlb::lb {
 
 LinearConstruction::LinearConstruction(GadgetParams params, std::size_t t)
+    : LinearConstruction(std::move(params), t, BuildOptions{}) {}
+
+LinearConstruction::LinearConstruction(GadgetParams params, std::size_t t,
+                                       const BuildOptions& opts)
     : params_(std::move(params)), t_(t), base_(params_), g_(0) {
   CLB_EXPECT(t_ >= 2, "linear construction: t >= 2");
   const std::size_t npc = params_.nodes_per_copy();
-  g_ = graph::Graph(t_ * npc);
-
-  // Bulk construction: gather everything into one batch so each adjacency
-  // list is sorted once, instead of a sorted insert per edge.
-  const auto base_edges = graph::edge_list(base_.graph());
   const std::size_t p = params_.clique_size();
-  const std::size_t inter_copy = t_ * (t_ - 1) / 2 *
-                                 params_.num_positions() * p * (p - 1);
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  edges.reserve(t_ * base_edges.size() + inter_copy);
+  const std::size_t m_pos = params_.num_positions();
+  const std::size_t k = params_.k;
+  g_ = graph::Graph(t_ * npc);
+  g_.set_implicit_block_threshold(opts.implicit_threshold);
 
-  // t copies of the base gadget H.
-  for (std::size_t i = 0; i < t_; ++i) {
-    const NodeId offset = i * npc;
-    for (auto [u, v] : base_edges) {
-      edges.emplace_back(offset + u, offset + v);
-    }
-    for (NodeId local = 0; local < npc; ++local) {
-      g_.set_label(offset + local,
-                   base_.graph().label(local) + "^" + std::to_string(i + 1));
+  if (!opts.skip_labels) {
+    for (std::size_t i = 0; i < t_; ++i) {
+      const NodeId offset = i * npc;
+      for (NodeId local = 0; local < npc; ++local) {
+        g_.set_label(offset + local,
+                     base_.graph().label(local) + "^" + std::to_string(i + 1));
+      }
     }
   }
 
-  // Inter-copy connections (Figure 2): for each position h and each pair of
-  // copies i < j, all edges between C^i_h and C^j_h except the natural
-  // perfect matching {sigma^i_(h,r), sigma^j_(h,r)}.
+  // Per-copy structure: the clique A^i, the code cliques C^i_h, and the
+  // codeword star edges v^i_m <-> Code^i \ Code^i_m. All are contiguous id
+  // ranges, so the cliques become blocks above the threshold; the stars are
+  // the irreducibly explicit part (k * (ell+alpha) * (p-1) per copy).
+  std::vector<std::pair<NodeId, NodeId>> stars;
+  stars.reserve(t_ * k * m_pos * (p - 1));
   for (std::size_t i = 0; i < t_; ++i) {
-    for (std::size_t j = i + 1; j < t_; ++j) {
-      for (std::size_t h = 0; h < params_.num_positions(); ++h) {
-        for (std::size_t r1 = 0; r1 < p; ++r1) {
-          for (std::size_t r2 = 0; r2 < p; ++r2) {
-            if (r1 == r2) continue;
-            edges.emplace_back(code_node(i, h, r1), code_node(j, h, r2));
-          }
+    std::vector<NodeId> a(k);
+    for (std::size_t m = 0; m < k; ++m) a[m] = a_node(i, m);
+    g_.add_clique(a);
+    for (std::size_t h = 0; h < m_pos; ++h) {
+      g_.add_clique(clique_nodes(i, h));
+    }
+    for (std::size_t m = 0; m < k; ++m) {
+      const codes::Word& w = base_.codeword(m);
+      for (std::size_t h = 0; h < m_pos; ++h) {
+        for (std::size_t r = 0; r < p; ++r) {
+          if (r != w[h]) stars.emplace_back(a_node(i, m), code_node(i, h, r));
         }
       }
     }
   }
-  g_.reserve_edges(edges.size());
-  g_.add_edges(edges);
+  g_.reserve_edges(stars.size());
+  g_.add_edges(stars);
+
+  // Inter-copy connections (Figure 2): for each position h, all edges
+  // between C^i_h and C^j_h (i != j) except the natural perfect matching —
+  // exactly one anti-matching grid over rows = copies, columns = symbols,
+  // covering every copy pair at once (block count stays ell+alpha, not
+  // C(t,2) * (ell+alpha)).
+  for (std::size_t h = 0; h < m_pos; ++h) {
+    g_.add_anti_matching_grid(static_cast<NodeId>(k + h * p), npc, t_, p);
+  }
 }
 
 LinearConstruction::LinearConstruction(GadgetParams params, std::size_t t,
@@ -141,9 +155,20 @@ std::size_t LinearConstruction::owner(NodeId v) const {
 
 std::vector<std::pair<NodeId, NodeId>> LinearConstruction::cut_edges() const {
   std::vector<std::pair<NodeId, NodeId>> cut;
-  for (auto [u, v] : graph::edge_list(g_)) {
+  const auto consider = [&](NodeId u, NodeId v) {
     if (owner(u) != owner(v)) cut.emplace_back(u, v);
+  };
+  if (!g_.has_implicit_blocks()) {
+    for (auto [u, v] : graph::edge_list(g_)) consider(u, v);
+    return cut;
   }
+  for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+    for (NodeId v : g_.explicit_neighbors(u)) {
+      if (u < v) consider(u, v);
+    }
+  }
+  for (const auto& b : g_.implicit_blocks()) b.for_each_edge(consider);
+  std::sort(cut.begin(), cut.end());
   return cut;
 }
 

@@ -28,6 +28,16 @@ class LinearConstruction {
  public:
   LinearConstruction(GadgetParams params, std::size_t t);
 
+  /// Build with explicit construction options. A finite
+  /// opts.implicit_threshold records the Figure 2 inter-copy anti-matchings
+  /// as one kAntiMatchingGrid block per code position (covering all C(t,2)
+  /// copy pairs arithmetically) and large cliques as clique blocks, so the
+  /// fixed graph costs O(t * k * (ell+alpha) * p) explicit edges however
+  /// large t grows. With the default options this is edge-for-edge the same
+  /// graph as the two-argument constructor.
+  LinearConstruction(GadgetParams params, std::size_t t,
+                     const BuildOptions& opts);
+
   /// Rehydrate from a cached fixed graph (the campaign subsystem's warm
   /// path, docs/CAMPAIGN.md): `cached_fixed` must be structurally identical
   /// to what the normal constructor builds for (params, t). Node and edge
@@ -74,7 +84,8 @@ class LinearConstruction {
   std::size_t owner(NodeId v) const;
 
   // --- the communication cut --------------------------------------------
-  /// All edges crossing between different players' parts.
+  /// All edges crossing between different players' parts, sorted. Expands
+  /// implicit blocks — small-t analysis only; use cut_size() at scale.
   std::vector<std::pair<NodeId, NodeId>> cut_edges() const;
   /// |cut| in closed form: C(t,2) * (ell+alpha) * p * (p-1).
   std::size_t cut_size() const;

@@ -1,5 +1,6 @@
 #include "lowerbound/quadratic_family.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/expect.hpp"
@@ -8,55 +9,71 @@ namespace congestlb::lb {
 
 QuadraticConstruction::QuadraticConstruction(GadgetParams params,
                                              std::size_t t)
+    : QuadraticConstruction(std::move(params), t, BuildOptions{}) {}
+
+QuadraticConstruction::QuadraticConstruction(GadgetParams params,
+                                             std::size_t t,
+                                             const BuildOptions& opts)
     : params_(std::move(params)), t_(t), base_(params_), g_(0) {
   CLB_EXPECT(t_ >= 1, "quadratic construction: t >= 1");
   const std::size_t npc = params_.nodes_per_copy();
-  g_ = graph::Graph(2 * t_ * npc);
-
-  // Bulk construction: gather everything into one batch so each adjacency
-  // list is sorted once, instead of a sorted insert per edge.
-  const auto base_edges = graph::edge_list(base_.graph());
   const std::size_t p = params_.clique_size();
-  const std::size_t inter_copy = 2 * (t_ * (t_ - 1) / 2) *
-                                 params_.num_positions() * p * (p - 1);
-  std::vector<std::pair<NodeId, NodeId>> edges;
-  edges.reserve(2 * t_ * base_edges.size() + inter_copy);
+  const std::size_t m_pos = params_.num_positions();
+  const std::size_t k = params_.k;
+  g_ = graph::Graph(2 * t_ * npc);
+  g_.set_implicit_block_threshold(opts.implicit_threshold);
 
+  // Per-copy structure (2t copies of H, indexed (i, b)): labels, the fixed
+  // weights w_F, the cliques, and the explicit codeword stars.
+  std::vector<std::pair<NodeId, NodeId>> stars;
+  stars.reserve(2 * t_ * k * m_pos * (p - 1));
   for (std::size_t i = 0; i < t_; ++i) {
     for (std::size_t b = 0; b < 2; ++b) {
       const NodeId offset = a_node(i, b, 0);
-      for (auto [u, v] : base_edges) {
-        edges.emplace_back(offset + u, offset + v);
-      }
-      for (NodeId local = 0; local < npc; ++local) {
-        g_.set_label(offset + local, base_.graph().label(local) + "^(" +
-                                         std::to_string(i + 1) + "," +
-                                         std::to_string(b + 1) + ")");
+      if (!opts.skip_labels) {
+        for (NodeId local = 0; local < npc; ++local) {
+          g_.set_label(offset + local, base_.graph().label(local) + "^(" +
+                                           std::to_string(i + 1) + "," +
+                                           std::to_string(b + 1) + ")");
+        }
       }
       // Fixed weights w_F: the A cliques weigh ell.
-      for (std::size_t m = 0; m < params_.k; ++m) {
+      for (std::size_t m = 0; m < k; ++m) {
         g_.set_weight(a_node(i, b, m), static_cast<graph::Weight>(params_.ell));
       }
-    }
-  }
-
-  // Within each block: the Figure-2 anti-matchings between copies.
-  for (std::size_t b = 0; b < 2; ++b) {
-    for (std::size_t i = 0; i < t_; ++i) {
-      for (std::size_t j = i + 1; j < t_; ++j) {
-        for (std::size_t h = 0; h < params_.num_positions(); ++h) {
-          for (std::size_t r1 = 0; r1 < p; ++r1) {
-            for (std::size_t r2 = 0; r2 < p; ++r2) {
-              if (r1 == r2) continue;
-              edges.emplace_back(code_node(i, b, h, r1), code_node(j, b, h, r2));
+      std::vector<NodeId> a(k);
+      for (std::size_t m = 0; m < k; ++m) a[m] = a_node(i, b, m);
+      g_.add_clique(a);
+      for (std::size_t h = 0; h < m_pos; ++h) {
+        std::vector<NodeId> c(p);
+        for (std::size_t r = 0; r < p; ++r) c[r] = code_node(i, b, h, r);
+        g_.add_clique(c);
+      }
+      for (std::size_t m = 0; m < k; ++m) {
+        const codes::Word& w = base_.codeword(m);
+        for (std::size_t h = 0; h < m_pos; ++h) {
+          for (std::size_t r = 0; r < p; ++r) {
+            if (r != w[h]) {
+              stars.emplace_back(a_node(i, b, m), code_node(i, b, h, r));
             }
           }
         }
       }
     }
   }
-  g_.reserve_edges(edges.size());
-  g_.add_edges(edges);
+  g_.reserve_edges(stars.size());
+  g_.add_edges(stars);
+
+  // Within each block b: the Figure-2 anti-matchings between copies — one
+  // grid per (b, h) over rows = copies (stride 2*npc), columns = symbols.
+  if (t_ >= 2) {
+    for (std::size_t b = 0; b < 2; ++b) {
+      for (std::size_t h = 0; h < m_pos; ++h) {
+        g_.add_anti_matching_grid(static_cast<NodeId>(b * npc + k + h * p),
+                                  2 * npc, t_, p);
+      }
+    }
+  }
 }
 
 graph::Graph QuadraticConstruction::instantiate(
@@ -136,9 +153,20 @@ std::size_t QuadraticConstruction::owner(NodeId v) const {
 std::vector<std::pair<NodeId, NodeId>> QuadraticConstruction::cut_edges()
     const {
   std::vector<std::pair<NodeId, NodeId>> cut;
-  for (auto [u, v] : graph::edge_list(g_)) {
+  const auto consider = [&](NodeId u, NodeId v) {
     if (owner(u) != owner(v)) cut.emplace_back(u, v);
+  };
+  if (!g_.has_implicit_blocks()) {
+    for (auto [u, v] : graph::edge_list(g_)) consider(u, v);
+    return cut;
   }
+  for (NodeId u = 0; u < g_.num_nodes(); ++u) {
+    for (NodeId v : g_.explicit_neighbors(u)) {
+      if (u < v) consider(u, v);
+    }
+  }
+  for (const auto& b : g_.implicit_blocks()) b.for_each_edge(consider);
+  std::sort(cut.begin(), cut.end());
   return cut;
 }
 

@@ -30,6 +30,13 @@ class QuadraticConstruction {
   /// induction base).
   QuadraticConstruction(GadgetParams params, std::size_t t);
 
+  /// Build with explicit construction options — see
+  /// LinearConstruction(params, t, opts); the anti-matchings become one
+  /// grid block per (block b, position h) pair. Default options reproduce
+  /// the two-argument constructor edge-for-edge.
+  QuadraticConstruction(GadgetParams params, std::size_t t,
+                        const BuildOptions& opts);
+
   const GadgetParams& params() const { return params_; }
   std::size_t num_players() const { return t_; }
   std::size_t num_nodes() const { return 2 * t_ * params_.nodes_per_copy(); }

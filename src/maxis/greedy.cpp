@@ -30,18 +30,18 @@ IsSolution greedy_core(const graph::Graph& g, Better better,
     picked.push_back(best);
     // Remove best and its alive neighbors.
     std::vector<NodeId> removed{best};
-    for (NodeId nb : g.neighbors(best)) {
+    g.for_each_neighbor(best, [&](NodeId nb) {
       if (alive[nb]) removed.push_back(nb);
-    }
+    });
     for (NodeId r : removed) {
       alive[r] = 0;
       --remaining;
     }
     if (dynamic_degree) {
       for (NodeId r : removed) {
-        for (NodeId nb : g.neighbors(r)) {
+        g.for_each_neighbor(r, [&](NodeId nb) {
           if (alive[nb] && deg[nb] > 0) --deg[nb];
-        }
+        });
       }
     }
   }

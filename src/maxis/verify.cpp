@@ -41,20 +41,15 @@ Weight clique_partition_upper_bound(const graph::Graph& g) {
     clique.assign(1, seed);
     assigned[seed] = 1;
     Weight best = g.weight(seed);
-    for (const NodeId u : g.neighbors(seed)) {
-      if (assigned[u]) continue;
-      bool ok = true;
+    g.for_each_neighbor(seed, [&](const NodeId u) {
+      if (assigned[u]) return;
       for (std::size_t i = 1; i < clique.size(); ++i) {
-        if (!g.has_edge(u, clique[i])) {
-          ok = false;
-          break;
-        }
+        if (!g.has_edge(u, clique[i])) return;
       }
-      if (!ok) continue;
       clique.push_back(u);
       assigned[u] = 1;
       best = std::max(best, g.weight(u));
-    }
+    });
     bound += best;
   }
   return bound;

@@ -37,6 +37,18 @@ def _serve_doc(entries):
     return {"schema": "clb-serve-v1", "entries": entries}
 
 
+def _scale_doc(entries):
+    return {"schema": "clb-scale-v1", "entries": entries}
+
+
+def _scale_entry(name, ns, n=9984, rss=100 * 1000 * 1000, variant="",
+                 **extra):
+    e = {"name": name, "variant": variant, "n": n, "threads": 1,
+         "ns_per_round": ns, "peak_rss_bytes": rss}
+    e.update(extra)
+    return e
+
+
 def _serve_entry(name, ns, clients=1, variant="warm_hit", **extra):
     e = {"name": name, "variant": variant, "clients": clients,
          "ns_per_op": ns}
@@ -178,6 +190,65 @@ class CheckBenchRegressionTest(unittest.TestCase):
         proc = self._run(meas, base)
         self.assertEqual(proc.returncode, 1)
         self.assertIn("warm_hit", proc.stdout)
+
+    def test_scale_schema_healthy_pair_passes(self):
+        base = self._write("base.json", _scale_doc([
+            _scale_entry("scale/gxbar-1e4", 5e6, n=9984),
+            _scale_entry("scale/gxbar-1e5", 8e7, n=99984),
+        ]))
+        meas = self._write("meas.json", _scale_doc([
+            _scale_entry("scale/gxbar-1e4", 4e6, n=9984),
+            _scale_entry("scale/gxbar-1e5", 9e7, n=99984),
+        ]))
+        proc = self._run(meas, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("2 entries compared", proc.stdout)
+        self.assertIn("n=9984", proc.stdout)
+
+    def test_scale_schema_keys_by_n_not_threads(self):
+        # A small-n measurement must never satisfy a million-node
+        # baseline: with no matching key the comparison is vacuous.
+        base = self._write("base.json", _scale_doc(
+            [_scale_entry("scale/gxbar-1e6", 9e8, n=999984)]))
+        meas = self._write("meas.json", _scale_doc(
+            [_scale_entry("scale/gxbar-1e6", 100, n=9984)]))
+        proc = self._run(meas, base)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("no baseline entry matched", proc.stderr)
+
+    def test_scale_rss_regression_fails(self):
+        # The memory gate: same timing, 10x the resident set — a leaked
+        # materialization of the implicit blocks must fail even when the
+        # round time looks fine.
+        base = self._write("base.json", _scale_doc(
+            [_scale_entry("scale/gxbar-1e5", 8e7, n=99984, rss=4 * 10**8)]))
+        meas = self._write("meas.json", _scale_doc(
+            [_scale_entry("scale/gxbar-1e5", 8e7, n=99984, rss=4 * 10**9)]))
+        proc = self._run(meas, base)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("peak RSS", proc.stderr)
+
+    def test_scale_timing_regression_fails(self):
+        base = self._write("base.json", _scale_doc(
+            [_scale_entry("scale/gxbar-1e4", 5e6)]))
+        meas = self._write("meas.json", _scale_doc(
+            [_scale_entry("scale/gxbar-1e4", 5e7)]))
+        proc = self._run(meas, base)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_missing_large_n_baseline_rows_are_notes_only(self):
+        # The scale-smoke CI job stops at n=1e5; the 1e6 baseline rows
+        # exist for the nightly job and must not fail the smoke run.
+        base = self._write("base.json", _scale_doc([
+            _scale_entry("scale/gxbar-1e4", 5e6, n=9984),
+            _scale_entry("scale/gxbar-1e6", 9e8, n=999984),
+        ]))
+        meas = self._write("meas.json", _scale_doc(
+            [_scale_entry("scale/gxbar-1e4", 5e6, n=9984)]))
+        proc = self._run(meas, base)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("missing from measured run", proc.stdout)
 
     def test_flood_alloc_gate_fails(self):
         base = self._write("base.json", _clb_doc([_entry("flood/ring", 100)]))
